@@ -1,0 +1,1 @@
+"""Benchmark package (pytest-benchmark harness for the paper reproductions)."""

@@ -1,0 +1,65 @@
+"""Bench: sparkle engine throughput (real wall-clock).
+
+End-to-end distributed solves at laptop scale and the engine's shuffle
+path in isolation — the overheads a downstream user of the engine
+actually pays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dpspark import GepSparkSolver, make_kernel
+from repro.core.gep import FloydWarshallGep
+from repro.sparkle import SparkleContext
+from repro.workloads import random_digraph_weights
+
+N = 128
+
+
+@pytest.mark.parametrize("strategy", ["im", "cb"])
+@pytest.mark.parametrize("kernel", ["iterative", "recursive"])
+def test_bench_distributed_solve(benchmark, strategy, kernel):
+    spec = FloydWarshallGep()
+    table = random_digraph_weights(N, 0.3, seed=3)
+
+    def run():
+        with SparkleContext(4, 2) as sc:
+            solver = GepSparkSolver(
+                spec, sc, r=4,
+                kernel=make_kernel(spec, kernel, r_shared=2, base_size=16),
+                strategy=strategy, collect_stats=False,
+            )
+            out, _ = solver.solve(table)
+            return out
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.shape == (N, N)
+
+
+def test_bench_shuffle_path(benchmark):
+    """reduceByKey over many numpy payloads (map combine + fetch)."""
+    def run():
+        with SparkleContext(2, 2) as sc:
+            data = [(i % 16, np.full(64, float(i))) for i in range(256)]
+            return (
+                sc.parallelize(data, 8)
+                .reduceByKey(lambda a, b: a + b, 4)
+                .count()
+            )
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 16
+
+
+def test_bench_narrow_pipeline(benchmark):
+    """map/filter chains stay pipelined in one stage (no copies)."""
+    def run():
+        with SparkleContext(2, 2) as sc:
+            return (
+                sc.parallelize(range(20000), 8)
+                .map(lambda x: x * 3)
+                .filter(lambda x: x % 2 == 0)
+                .map(lambda x: x + 1)
+                .count()
+            )
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 10000

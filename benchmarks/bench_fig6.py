@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 6 — all implementations x block sizes, both benchmarks (paper §V).
+
+Runs the fig6 reproduction, checks its paper-shape claims, writes the
+regenerated rows to benchmarks/reports/fig6.txt, and times the
+regeneration.
+"""
+
+from .conftest import run_and_check
+
+
+def test_bench_fig6(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_and_check, args=("fig6",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_report("fig6", result.render())
+    assert result.tables

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 7 — kernel dependency structure (paper §V).
+
+Runs the fig7 reproduction, checks its paper-shape claims, writes the
+regenerated rows to benchmarks/reports/fig7.txt, and times the
+regeneration.
+"""
+
+from .conftest import run_and_check
+
+
+def test_bench_fig7(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_and_check, args=("fig7",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_report("fig7", result.render())
+    assert result.tables

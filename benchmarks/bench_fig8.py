@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 8 — two-cluster portability comparison (paper §V).
+
+Runs the fig8 reproduction, checks its paper-shape claims, writes the
+regenerated rows to benchmarks/reports/fig8.txt, and times the
+regeneration.
+"""
+
+from .conftest import run_and_check
+
+
+def test_bench_fig8(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_and_check, args=("fig8",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_report("fig8", result.render())
+    assert result.tables

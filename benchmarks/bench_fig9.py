@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 9 — weak scaling on 1/8/64 nodes (paper §V).
+
+Runs the fig9 reproduction, checks its paper-shape claims, writes the
+regenerated rows to benchmarks/reports/fig9.txt, and times the
+regeneration.
+"""
+
+from .conftest import run_and_check
+
+
+def test_bench_fig9(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_and_check, args=("fig9",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_report("fig9", result.render())
+    assert result.tables

@@ -1,0 +1,16 @@
+"""Bench: regenerate Headline 2-5x recursive-over-iterative speedups (paper §V).
+
+Runs the headline reproduction, checks its paper-shape claims, writes the
+regenerated rows to benchmarks/reports/headline.txt, and times the
+regeneration.
+"""
+
+from .conftest import run_and_check
+
+
+def test_bench_headline(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_and_check, args=("headline",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_report("headline", result.render())
+    assert result.tables

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table I — GE time grid over executor-cores x OMP_NUM_THREADS (paper §V).
+
+Runs the table1 reproduction, checks its paper-shape claims, writes the
+regenerated rows to benchmarks/reports/table1.txt, and times the
+regeneration.
+"""
+
+from .conftest import run_and_check
+
+
+def test_bench_table1(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_and_check, args=("table1",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_report("table1", result.render())
+    assert result.tables

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table II — FW-APSP time grid over executor-cores x OMP_NUM_THREADS (paper §V).
+
+Runs the table2 reproduction, checks its paper-shape claims, writes the
+regenerated rows to benchmarks/reports/table2.txt, and times the
+regeneration.
+"""
+
+from .conftest import run_and_check
+
+
+def test_bench_table2(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_and_check, args=("table2",), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_report("table2", result.render())
+    assert result.tables

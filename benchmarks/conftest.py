@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure bench (a) regenerates the paper artifact through
+``repro.experiments``, (b) asserts its shape claims hold, (c) writes the
+rendered rows to ``benchmarks/reports/<name>.txt`` so the regenerated
+tables are inspectable after a ``--benchmark-only`` run, and (d) times
+the regeneration under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(report_dir):
+    def _save(name: str, text: str) -> None:
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+def run_and_check(name: str, fast: bool = False):
+    """Run one experiment and require every shape claim to hold."""
+    from repro.experiments import run_experiment
+
+    result = run_experiment(name, fast=fast)
+    assert result.all_claims_hold, [c for c in result.claims if not c[3]]
+    return result

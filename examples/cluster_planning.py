@@ -1,0 +1,80 @@
+"""Capacity planning with the cluster cost model.
+
+The paper's closing lesson (§V-C, Fig. 8): the right (r, r_shared,
+executor-cores, OMP_NUM_THREADS) depends on the cluster, and carrying a
+configuration from one cluster to another can cost 3x.  This example
+uses the calibrated cost model the way an operator would:
+
+* ask the tuning advisor for the best plan on both paper testbeds;
+* evaluate each cluster's plan on the *other* cluster (the mistuning
+  penalty);
+* print a Table-I-style sensitivity grid for one benchmark.
+
+Run:  python examples/cluster_planning.py
+"""
+
+from repro.cluster import CostModel, ExecutionPlan, haswell16, skylake16
+from repro.core import tune
+from repro.core.gep import FloydWarshallGep
+
+
+def main() -> None:
+    spec = FloydWarshallGep()
+    n = 32768
+    clusters = {"cluster1": skylake16(), "cluster2": haswell16()}
+    for name, cfg in clusters.items():
+        print(f"{name}: {cfg.describe()}")
+    print()
+
+    # Per-cluster tuning.
+    advice = {}
+    for name, cfg in clusters.items():
+        advice[name] = tune(
+            spec, n, cfg, omp_values=(4, 8, 16), r_shared_values=(4, 16)
+        )
+        print(f"best on {name}:  {advice[name].describe()}")
+
+    # Cross-evaluation: run each cluster's chosen plan on the other.
+    print("\nmistuning penalty (plan chosen for row, run on column):")
+    print(f"{'':12}" + "".join(f"{c:>12}" for c in clusters))
+    for src, adv in advice.items():
+        r, plan, _ = adv.best
+        row = []
+        for dst_cfg in clusters.values():
+            row.append(CostModel(dst_cfg).estimate(spec, n, r, plan).total)
+        print(f"{src:<12}" + "".join(f"{v:>11.0f}s" for v in row))
+    # The paper's Fig. 8 scenario: its near-optimal cluster-1 config (IM,
+    # 4-way recursive, block 1024, executor-cores = all physical cores)
+    # ported verbatim to cluster 2.
+    naive = ExecutionPlan("im", "recursive", 4, 64, 8)  # ec defaults to all cores
+    ported = CostModel(clusters["cluster2"]).estimate(spec, n, 32, naive).total
+    tuned2 = advice["cluster2"].best[2]
+    print(
+        f"\nporting the paper's cluster-1 config (IM 4-way b=1024, "
+        f"executor-cores=all) to cluster2: {ported:.0f}s — "
+        f"{ported / tuned2:.1f}x its tuned optimum (the paper measured ~3.3x)."
+    )
+    print(
+        "the advisor avoids that trap: its plans cap concurrent OpenMP "
+        "tasks, which ports far better across the two machines."
+    )
+
+    # Sensitivity grid (Table II flavour) for cluster 1.
+    print("\ncluster1 sensitivity, FW-APSP IM 16-way b=1024 (seconds):")
+    model = CostModel(clusters["cluster1"])
+    omps = (1, 4, 16, 32)
+    header = "ec \\ omp"
+    print(f"{header:>9}" + "".join(f"{o:>9}" for o in omps))
+    for ec in (2, 8, 32):
+        cells = [
+            model.estimate(
+                spec, n, 32,
+                ExecutionPlan("im", "recursive", 16, 64, omp, executor_cores=ec),
+            ).total
+            for omp in omps
+        ]
+        print(f"{ec:>9}" + "".join(f"{v:>9.0f}" for v in cells))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Distributed linear algebra: Gaussian elimination without pivoting.
+
+The paper's second benchmark as a user-facing workflow: solve a
+diagonally dominant system, extract the LU factorization and the
+determinant, and compare the CB strategy (the winner for GE, §V-C)
+against IM on engine communication metrics.
+
+Run:  python examples/linear_system_solver.py
+"""
+
+import numpy as np
+
+from repro import SparkleContext, gaussian_solve, lu_decompose
+from repro.core import determinant
+from repro.workloads import augmented_system
+
+
+def main() -> None:
+    n = 80
+    a, x_true, _aug = augmented_system(n, seed=11)
+    b = a @ x_true
+    print(f"system: {n} equations, diagonally dominant (GE-safe, no pivoting)\n")
+
+    # Single-node solve + residual.
+    x = gaussian_solve(a, b, engine="local", r=4, kernel="recursive",
+                       r_shared=2, base_size=16)
+    residual = np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+    error = np.linalg.norm(x - x_true) / np.linalg.norm(x_true)
+    print(f"local solve: relative residual {residual:.2e}, error vs truth {error:.2e}")
+
+    # LU factorization recovered from the GEP-eliminated table.
+    l, u = lu_decompose(a)
+    print(f"LU factorization: ||A - LU|| / ||A|| = "
+          f"{np.linalg.norm(a - l @ u) / np.linalg.norm(a):.2e}")
+    det_ref = np.linalg.det(a)
+    print(f"determinant via pivots: {determinant(a):.6g} (LAPACK {det_ref:.6g})")
+
+    # Distributed: the paper found CB decisively better for GE because
+    # kernel A's output fans out to *every* other kernel (B, C and D).
+    print("\ndistributed solve, both strategies (watch the shuffle volume):")
+    for strategy in ("im", "cb"):
+        with SparkleContext(num_executors=4, cores_per_executor=2) as sc:
+            x_d = gaussian_solve(
+                a, b, engine="spark", sc=sc, r=5, kernel="recursive",
+                r_shared=2, base_size=16, strategy=strategy,
+            )
+            assert np.allclose(x_d, x, rtol=1e-8)
+            m = sc.metrics
+            print(
+                f"  {strategy.upper():>2}: shuffle {m.total_shuffle_bytes / 1e6:6.2f} MB, "
+                f"collect {m.total_collect_bytes / 1e6:5.2f} MB, "
+                f"storage {m.storage_bytes_written / 1e6:5.2f} MB written / "
+                f"{m.storage_bytes_read / 1e6:6.2f} MB read"
+            )
+    print("\nboth strategies agree with the local solve ✓")
+
+    # Multiple right-hand sides in one elimination pass.
+    rhs = np.stack([b, 2 * b, a @ np.ones(n)], axis=1)
+    xs = gaussian_solve(a, rhs)
+    print(f"multi-RHS solve: {rhs.shape[1]} systems, "
+          f"max residual {np.abs(a @ xs - rhs).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

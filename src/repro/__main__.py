@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Run one of the DP solvers on a generated (or ``.npy``) input through
+    the chosen engine and print a result summary.
+``tune``
+    Print the analytical tuning advice for a problem on a cluster preset.
+``experiments``
+    Regenerate the paper's tables/figures (same as
+    ``python -m repro.experiments``).
+``info``
+    Version, available semirings, cluster presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load_or_generate(args) -> np.ndarray:
+    if args.input:
+        return np.load(args.input)
+    from repro.workloads import diagonally_dominant, random_digraph_weights
+
+    if args.problem == "ge":
+        return diagonally_dominant(args.n, seed=args.seed)
+    w = random_digraph_weights(args.n, args.density, seed=args.seed)
+    if args.problem == "tc":
+        return np.isfinite(w)
+    return w
+
+
+def _cmd_solve(args) -> int:
+    from repro.core import floyd_warshall, forward_eliminate, transitive_closure
+    from repro.sparkle import SparkleContext
+
+    table = _load_or_generate(args)
+    kw = dict(
+        engine=args.engine,
+        r=args.r,
+        kernel=args.kernel,
+        r_shared=args.r_shared,
+        omp_threads=args.omp,
+        strategy=args.strategy,
+    )
+    ctx = (
+        SparkleContext(args.executors, args.cores)
+        if args.engine == "spark"
+        else None
+    )
+    try:
+        if ctx is not None:
+            kw["sc"] = ctx
+        if args.problem == "apsp":
+            out, report = floyd_warshall(table, return_report=True, **kw)
+            finite = out[np.isfinite(out)]
+            print(f"APSP solved: n={out.shape[0]}, diameter={finite.max():.4g}, "
+                  f"mean distance={finite.mean():.4g}")
+        elif args.problem == "tc":
+            out, report = transitive_closure(table, return_report=True, **kw)
+            print(f"closure solved: n={out.shape[0]}, "
+                  f"reachable pairs={int(out.sum())}")
+        else:
+            u, _, report = forward_eliminate(table, None, return_report=True, **kw)
+            print(f"GE eliminated: n={u.shape[0]}, "
+                  f"|det|={abs(float(np.prod(np.diag(u)))):.4g}")
+        if report is not None and report.engine_metrics is not None:
+            print("engine:", report.engine_metrics.summary())
+        if args.output:
+            np.save(args.output, out if args.problem != "ge" else u)
+            print(f"result written to {args.output}")
+    finally:
+        if ctx is not None:
+            ctx.stop()
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.cluster import haswell16, laptop, skylake16
+    from repro.core import tune
+    from repro.core.gep import (
+        FloydWarshallGep,
+        GaussianEliminationGep,
+        TransitiveClosureGep,
+    )
+
+    clusters = {"skylake16": skylake16, "haswell16": haswell16, "laptop": laptop}
+    specs = {
+        "apsp": FloydWarshallGep,
+        "ge": GaussianEliminationGep,
+        "tc": TransitiveClosureGep,
+    }
+    advice = tune(specs[args.problem](), args.n, clusters[args.cluster]())
+    print(advice.describe())
+    print("\ntop alternatives:")
+    for r, plan, secs in advice.ranking[1:6]:
+        print(f"  {plan.label():36s} block={args.n // r:>5}  ~{secs:.0f}s")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.cluster import haswell16, laptop, skylake16
+    from repro.semiring import available_semirings
+
+    print(f"repro {repro.__version__}")
+    print(f"semirings: {', '.join(available_semirings())}")
+    for preset in (skylake16(), haswell16(), laptop()):
+        print(f"cluster preset {preset.describe()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run a DP solver")
+    solve.add_argument("problem", choices=("apsp", "ge", "tc"))
+    solve.add_argument("--input", help=".npy input matrix (else generated)")
+    solve.add_argument("--output", help="write the result as .npy")
+    solve.add_argument("--n", type=int, default=128)
+    solve.add_argument("--density", type=float, default=0.3)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--engine", choices=("reference", "local", "spark"),
+                       default="local")
+    solve.add_argument("--r", type=int, default=4)
+    solve.add_argument("--kernel", choices=("iterative", "recursive"),
+                       default="recursive")
+    solve.add_argument("--r-shared", dest="r_shared", type=int, default=4)
+    solve.add_argument("--omp", type=int, default=1)
+    solve.add_argument("--strategy", choices=("im", "cb"), default="im")
+    solve.add_argument("--executors", type=int, default=4)
+    solve.add_argument("--cores", type=int, default=2)
+    solve.set_defaults(func=_cmd_solve)
+
+    tune_p = sub.add_parser("tune", help="analytical configuration advice")
+    tune_p.add_argument("problem", choices=("apsp", "ge", "tc"))
+    tune_p.add_argument("--n", type=int, default=32768)
+    tune_p.add_argument("--cluster", choices=("skylake16", "haswell16", "laptop"),
+                        default="skylake16")
+    tune_p.set_defaults(func=_cmd_tune)
+
+    exp = sub.add_parser("experiments", help="regenerate the paper artifacts")
+    exp.add_argument("names", nargs="*", default=None)
+    exp.set_defaults(func=None)
+
+    info = sub.add_parser("info", help="version and presets")
+    info.set_defaults(func=_cmd_info)
+
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        from repro.experiments.harness import main as exp_main
+
+        return exp_main(args.names or None)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Baselines: the paper's comparison point (Schoeneman & Zola's blocked
+FW-APSP with iterative kernels) and independent reference solvers used
+for cross-validation."""
+
+from .references import (
+    boolean_closure_by_squaring,
+    networkx_apsp,
+    numpy_floyd_warshall,
+    numpy_gaussian_solve,
+    scipy_shortest_paths,
+)
+from .schoeneman_zola import SchoenemanZolaAPSP
+
+__all__ = [
+    "SchoenemanZolaAPSP",
+    "numpy_floyd_warshall",
+    "scipy_shortest_paths",
+    "numpy_gaussian_solve",
+    "boolean_closure_by_squaring",
+    "networkx_apsp",
+]

@@ -1,0 +1,75 @@
+"""Independent single-node reference implementations.
+
+These never touch the GEP machinery — they exist so every solver result
+can be cross-checked against an algorithmically unrelated computation
+(scipy's C Floyd-Warshall / Dijkstra, LAPACK solves, boolean matrix
+powers, networkx graph algorithms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "numpy_floyd_warshall",
+    "scipy_shortest_paths",
+    "numpy_gaussian_solve",
+    "boolean_closure_by_squaring",
+    "networkx_apsp",
+]
+
+
+def numpy_floyd_warshall(weights: np.ndarray) -> np.ndarray:
+    """Textbook per-k vectorized FW (independent of repro.core)."""
+    d = np.array(weights, dtype=np.float64, copy=True)
+    np.fill_diagonal(d, np.minimum(np.diag(d), 0.0))
+    n = d.shape[0]
+    for k in range(n):
+        with np.errstate(invalid="ignore"):
+            cand = d[:, k, None] + d[None, k, :]
+        cand = np.where(np.isnan(cand), np.inf, cand)
+        np.minimum(d, cand, out=d)
+    return d
+
+
+def scipy_shortest_paths(weights: np.ndarray, method: str = "FW") -> np.ndarray:
+    """scipy.sparse.csgraph shortest paths on the same weight convention."""
+    import scipy.sparse as sps
+    import scipy.sparse.csgraph as csg
+
+    w = np.asarray(weights, dtype=np.float64)
+    dense = np.where(np.isfinite(w) & (w != 0), w, 0.0)
+    return csg.shortest_path(sps.csr_matrix(dense), method=method, directed=True)
+
+
+def numpy_gaussian_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """LAPACK solve (the answer GE must match on well-conditioned input)."""
+    return np.linalg.solve(np.asarray(a, dtype=np.float64), np.asarray(b))
+
+
+def boolean_closure_by_squaring(adj: np.ndarray) -> np.ndarray:
+    """Reflexive-transitive closure via O(log n) boolean squarings."""
+    n = adj.shape[0]
+    reach = np.asarray(adj, dtype=bool) | np.eye(n, dtype=bool)
+    while True:
+        nxt = ((reach.astype(np.uint8) @ reach.astype(np.uint8)) > 0) | reach
+        if np.array_equal(nxt, reach):
+            return reach
+        reach = nxt
+
+
+def networkx_apsp(weights: np.ndarray) -> np.ndarray:
+    """networkx Dijkstra-based APSP (non-negative weights)."""
+    import networkx as nx
+
+    from ..workloads import weights_to_networkx
+
+    w = np.asarray(weights)
+    n = w.shape[0]
+    g = weights_to_networkx(w)
+    out = np.full((n, n), np.inf)
+    np.fill_diagonal(out, 0.0)
+    for src, lengths in nx.all_pairs_dijkstra_path_length(g):
+        for dst, dist in lengths.items():
+            out[src, dst] = dist
+    return out

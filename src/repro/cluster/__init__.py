@@ -1,0 +1,21 @@
+"""Simulated cluster substrate: declarative cluster configs (the paper's
+two testbeds), exact driver communication/work counts, and the analytic
+cost model that prices paper-scale executions."""
+
+from .config import ClusterConfig, haswell16, laptop, skylake16
+from .costmodel import CostBreakdown, CostModel, ExecutionPlan
+from .counts import IterationCounts, SolveCounts, analyze_solve, kernel_updates
+
+__all__ = [
+    "ClusterConfig",
+    "skylake16",
+    "haswell16",
+    "laptop",
+    "CostModel",
+    "CostBreakdown",
+    "ExecutionPlan",
+    "SolveCounts",
+    "IterationCounts",
+    "analyze_solve",
+    "kernel_updates",
+]

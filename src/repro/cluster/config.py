@@ -1,0 +1,209 @@
+"""Declarative cluster descriptions (the paper's two testbeds).
+
+A :class:`ClusterConfig` captures the hardware/software parameters the
+paper identifies as performance-relevant: node and core counts, the
+memory/cache hierarchy, network bandwidth, local storage speed, and the
+Spark runtime constants.  The two presets correspond to §V-B:
+
+* :func:`skylake16` — cluster 1: 16 nodes x dual 16-core Xeon Gold 6130
+  (32 cores, 32 KB L1 / 1 MB L2 per core), 192 GB RAM, GbE, 1 TB SSD.
+* :func:`haswell16` — cluster 2: 16 nodes x dual 10-core Xeon E5-2650v3
+  (20 cores, 256 KB L2 per core), 64 GB RAM, GbE, 7.5k rpm spinning HDD.
+
+The ``*_rate`` and ``*_penalty`` fields are the cost model's calibrated
+constants; they are part of the config because they describe the
+machine (per-core update throughput in and out of cache, thread-scaling
+behaviour), not the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ClusterConfig", "skylake16", "haswell16", "laptop"]
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One homogeneous cluster (all values per node unless noted)."""
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    mem_per_node_bytes: int
+    l1_bytes: int  # per core
+    l2_bytes: int  # per core
+    l3_bytes: int  # per node (shared)
+    network_bytes_per_s: float  # effective per-node NIC bandwidth
+    storage_read_bytes_per_s: float  # local/shared storage
+    storage_write_bytes_per_s: float
+    storage_latency_s: float
+    # --- calibrated compute-rate model ---------------------------------
+    #: per-core GEP cell-update rate when the tile working set is
+    #: cache-resident (vectorized kernels on hot data)
+    update_rate_cache: float
+    #: per-core rate when the kernel streams from DRAM (iterative kernels
+    #: on tiles past the L2 boundary)
+    update_rate_mem: float
+    #: multiplicative efficiency of the recursive kernels' base cases
+    #: (recursion/call overhead versus a straight loop)
+    recursive_efficiency: float = 0.92
+    #: efficiency of the iterative (Numba/NumPy) kernels relative to the
+    #: hand-tuned C base cases of the recursive kernels, on cache-hot data
+    iterative_efficiency: float = 0.6
+    #: serial fraction charged per extra OpenMP thread (Amdahl-style)
+    omp_serial_fraction: float = 0.02
+    #: throughput multiplier exponent for thread oversubscription
+    #: (active_threads/cores > 1): rate *= oversub**(-penalty)
+    oversubscription_penalty: float = 0.12
+    #: per-node contention per extra concurrent *OpenMP* task (competing
+    #: OpenMP runtimes/working sets — the COSMIC effect the paper cites
+    #: for thread oversubscription)
+    task_contention: float = 0.065
+    #: contention per extra concurrent single-threaded (iterative) task
+    iter_task_contention: float = 0.01
+    #: fraction of a task's time that is serial launch/JNI/Python glue,
+    #: hidden by OpenMP threads (node efficiency 1 - x/sqrt(threads))
+    thread_serial_overhead: float = 0.3
+    #: effective speed-up of shuffle staging I/O from the OS page cache
+    staging_cache_factor: float = 4.0
+    #: effective compression ratio of shuffled tile payloads (Spark
+    #: compresses shuffle blocks with lz4 by default)
+    shuffle_compression: float = 2.5
+    # --- Spark runtime constants ----------------------------------------
+    task_overhead_s: float = 0.004
+    stage_overhead_s: float = 0.15
+    #: driver cost to launch one job (action) — scheduling, closure ship
+    job_overhead_s: float = 0.3
+    #: driver DAG-walk cost per *accumulated* lineage stage: each action
+    #: re-walks the whole lineage, so iteration k's collects pay O(k)
+    #: (the CB strategy runs 2 actions per iteration; IM runs none until
+    #: the final collect)
+    lineage_walk_s: float = 0.02
+    #: driver NIC bandwidth for collect()/redistribution
+    driver_bytes_per_s: float = 110 * MB
+    #: load imbalance factor of the default hash partitioner (max/mean
+    #: tiles per node); the paper over-provisions partitions 2x to tame it
+    hash_imbalance: float = 1.3
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def with_nodes(self, nodes: int) -> "ClusterConfig":
+        """Same hardware, different node count (weak-scaling sweeps)."""
+        return replace(self, nodes=nodes, name=f"{self.name}-n{nodes}")
+
+    def iterative_tile_in_cache(self, block: int, dtype_bytes: int = 8) -> bool:
+        """Whether an iterative kernel keeps its per-``k`` working set hot.
+
+        The per-core effective capacity is taken as L2 plus the core's
+        share of L3 (private + shared residency), matching the paper's
+        observation that block 512 behaves cache-resident on the Skylake
+        nodes while 1024 does not.
+        """
+        effective = self.l2_bytes + self.l3_bytes // self.cores_per_node
+        # Working set of one k-step: the tile itself (streamed row-wise,
+        # reused across the pivot loop) dominates.
+        return block * block * dtype_bytes <= 2 * effective
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.nodes} nodes x {self.cores_per_node} cores, "
+            f"{self.mem_per_node_bytes // GB} GB RAM, "
+            f"L2 {self.l2_bytes // 1024} KB/core, "
+            f"net {self.network_bytes_per_s / MB:.0f} MB/s, "
+            f"storage R/W {self.storage_read_bytes_per_s / MB:.0f}/"
+            f"{self.storage_write_bytes_per_s / MB:.0f} MB/s"
+        )
+
+
+def skylake16(nodes: int = 16) -> ClusterConfig:
+    """The paper's cluster 1 (Intel Xeon Gold 6130, SSD, GbE)."""
+    return ClusterConfig(
+        name="skylake16",
+        nodes=nodes,
+        cores_per_node=32,
+        mem_per_node_bytes=192 * GB,
+        l1_bytes=32 * 1024,
+        l2_bytes=1024 * 1024,
+        l3_bytes=22 * MB,
+        network_bytes_per_s=110 * MB,
+        storage_read_bytes_per_s=500 * MB,
+        storage_write_bytes_per_s=450 * MB,
+        storage_latency_s=1e-4,
+        # Calibrated against the paper's cluster-1 numbers (all Table I
+        # and Table II cells plus the Fig. 6 anchors); mean |log error|
+        # 0.153 (x1.16 typical).  See repro/experiments/calibration.py.
+        update_rate_cache=1.194e9,
+        update_rate_mem=1.797e8,
+        task_contention=0.0853,
+        iter_task_contention=0.0,
+        thread_serial_overhead=0.362,
+        oversubscription_penalty=0.02,
+        shuffle_compression=5.0,
+        staging_cache_factor=7.62,
+        recursive_efficiency=0.9786,
+        iterative_efficiency=1.0,
+        lineage_walk_s=0.0422,
+        job_overhead_s=0.05,
+        hash_imbalance=1.483,
+    )
+
+
+def haswell16(nodes: int = 16) -> ClusterConfig:
+    """The paper's cluster 2 (Intel Xeon E5-2650v3, spinning HDD, GbE)."""
+    return ClusterConfig(
+        name="haswell16",
+        nodes=nodes,
+        cores_per_node=20,
+        mem_per_node_bytes=64 * GB,
+        l1_bytes=32 * 1024,
+        l2_bytes=256 * 1024,
+        l3_bytes=25 * MB,
+        network_bytes_per_s=110 * MB,
+        storage_read_bytes_per_s=120 * MB,
+        storage_write_bytes_per_s=90 * MB,
+        storage_latency_s=8e-3,
+        # Cluster 2 reuses the cluster-1 software constants; the compute
+        # rates are scaled for Haswell (no AVX-512, 2.3 GHz) and the
+        # storage rates reflect the spinning disks.  Validated against
+        # the two Fig. 8 anchors (best ~951 s; the cluster-1-optimal
+        # config degrading ~3.3x).
+        update_rate_cache=3.6e8,
+        update_rate_mem=6.0e7,
+        task_contention=0.08,
+        iter_task_contention=0.0,
+        thread_serial_overhead=0.362,
+        oversubscription_penalty=0.4,
+        shuffle_compression=5.0,
+        staging_cache_factor=4.0,
+        recursive_efficiency=0.9786,
+        iterative_efficiency=1.0,
+        lineage_walk_s=0.0422,
+        job_overhead_s=0.05,
+        hash_imbalance=1.483,
+    )
+
+
+def laptop() -> ClusterConfig:
+    """A single developer machine (used by examples for realistic tuning)."""
+    return ClusterConfig(
+        name="laptop",
+        nodes=1,
+        cores_per_node=8,
+        mem_per_node_bytes=16 * GB,
+        l1_bytes=48 * 1024,
+        l2_bytes=1280 * 1024,
+        l3_bytes=12 * MB,
+        network_bytes_per_s=1000 * MB,
+        storage_read_bytes_per_s=2000 * MB,
+        storage_write_bytes_per_s=1500 * MB,
+        storage_latency_s=1e-5,
+        update_rate_cache=2.5e8,
+        update_rate_mem=8.0e7,
+    )

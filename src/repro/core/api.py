@@ -1,0 +1,130 @@
+"""Shared execution plumbing for the public solvers.
+
+Every solver (FW-APSP, GE, transitive closure, generic semiring
+closure) funnels through :func:`run_gep`, which dispatches on engine:
+
+* ``"reference"`` — per-``k`` vectorized whole-table GEP (ground truth);
+* ``"local"`` — single-node blocked execution (grid of tiles, any
+  kernel) — the shared-memory mirror of the distributed drivers;
+* ``"spark"`` — the sparkle-based distributed drivers (IM or CB).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..kernels import KernelStats
+from ..sparkle import SparkleContext
+from .blocked import blocked_gep_inplace
+from .dpspark import GepSparkSolver, SolveReport, make_kernel
+from .gep import GepSpec, gep_reference_vectorized
+
+__all__ = ["run_gep", "GepRunOptions"]
+
+
+def run_gep(
+    spec: GepSpec,
+    table: np.ndarray,
+    *,
+    engine: str = "local",
+    r: int = 8,
+    kernel: str = "iterative",
+    r_shared: int = 2,
+    base_size: int = 64,
+    omp_threads: int = 1,
+    strategy: str = "im",
+    sc: SparkleContext | None = None,
+    num_partitions: int | None = None,
+    partitioner=None,
+    collect_stats: bool = False,
+    checkpoint_every: int | None = None,
+) -> tuple[np.ndarray, SolveReport | None]:
+    """Run one GEP computation; returns ``(result, report_or_None)``.
+
+    ``table`` is never mutated.  See :class:`~repro.core.dpspark.
+    GepSparkSolver` for the distributed-engine parameters.
+    """
+    table = np.asarray(table)
+    if engine == "reference":
+        return gep_reference_vectorized(spec, table), None
+
+    if engine == "local":
+        kern = make_kernel(
+            spec,
+            kernel,
+            r_shared=r_shared,
+            base_size=base_size,
+            omp_threads=omp_threads,
+        )
+        out = np.array(table, dtype=spec.dtype, copy=True)
+        stats = KernelStats() if collect_stats else None
+        blocked_gep_inplace(spec, out, r, kern, stats=stats)
+        report = SolveReport(
+            spec_name=spec.name,
+            strategy="local",
+            n=table.shape[0],
+            r=r,
+            kernel=kern.describe(),
+            num_partitions=0,
+            kernel_stats=stats,
+        )
+        return out, report
+
+    if engine == "spark":
+        owns_ctx = sc is None
+        if owns_ctx:
+            sc = SparkleContext()
+        try:
+            kern = make_kernel(
+                spec,
+                kernel,
+                r_shared=r_shared,
+                base_size=base_size,
+                omp_threads=omp_threads,
+            )
+            solver = GepSparkSolver(
+                spec,
+                sc,
+                r=r,
+                kernel=kern,
+                strategy=strategy,
+                num_partitions=num_partitions,
+                partitioner=partitioner,
+                collect_stats=collect_stats,
+                checkpoint_every=checkpoint_every,
+            )
+            return solver.solve(table)
+        finally:
+            if owns_ctx:
+                sc.stop()
+
+    raise ValueError(f"unknown engine {engine!r} (reference|local|spark)")
+
+
+class GepRunOptions(dict):
+    """Keyword bag forwarded to :func:`run_gep` by the solver wrappers."""
+
+    KNOWN = frozenset(
+        {
+            "engine",
+            "r",
+            "kernel",
+            "r_shared",
+            "base_size",
+            "omp_threads",
+            "strategy",
+            "sc",
+            "num_partitions",
+            "partitioner",
+            "collect_stats",
+            "checkpoint_every",
+        }
+    )
+
+    def __init__(self, **kw: Any) -> None:
+        unknown = set(kw) - self.KNOWN
+        if unknown:
+            raise TypeError(f"unknown solver options: {sorted(unknown)}")
+        super().__init__(**kw)

@@ -1,0 +1,188 @@
+"""Grid-level blocked GEP execution (the shared-memory mirror of the
+Spark drivers).
+
+The paper decomposes the DP table into an ``r x r`` grid of tiles and
+runs, per outer iteration ``k``:
+
+* stage 1 — kernel **A** on the pivot tile ``(k, k)``;
+* stage 2 — kernels **B** on the pivot row and **C** on the pivot column
+  (mutually independent);
+* stage 3 — kernels **D** on the remaining updated tiles.
+
+:func:`blocked_gep_inplace` executes that schedule directly on NumPy
+views of one table — it is both a fast single-node GEP executor in its
+own right and the ground the distributed drivers
+(:mod:`repro.core.dpspark`) are validated against, since both share the
+tile-range helpers defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..util import near_equal_splits
+from .gep import GepSpec
+
+__all__ = [
+    "grid_bounds",
+    "updated_tiles",
+    "b_range",
+    "c_range",
+    "blocked_gep_inplace",
+    "virtual_pad",
+    "virtual_unpad",
+]
+
+
+def grid_bounds(n: int, r: int) -> list[int]:
+    """Tile boundaries of an ``r``-way decomposition of ``[0, n)``."""
+    return near_equal_splits(n, r)
+
+
+def b_range(spec: GepSpec, k: int, r: int) -> list[int]:
+    """Tile columns updated by kernel B at outer iteration ``k``.
+
+    Σ_G-constrained specs (GE) only touch columns right of the pivot;
+    unconstrained specs (FW-APSP) touch every non-pivot column.
+    """
+    if spec.constrains_j:
+        return list(range(k + 1, r))
+    return [j for j in range(r) if j != k]
+
+
+def c_range(spec: GepSpec, k: int, r: int) -> list[int]:
+    """Tile rows updated by kernel C at outer iteration ``k``."""
+    if spec.constrains_i:
+        return list(range(k + 1, r))
+    return [i for i in range(r) if i != k]
+
+
+def updated_tiles(spec: GepSpec, k: int, r: int) -> dict[str, list[tuple[int, int]]]:
+    """Tiles written at outer iteration ``k``, grouped by kernel case."""
+    bs = b_range(spec, k, r)
+    cs = c_range(spec, k, r)
+    return {
+        "A": [(k, k)],
+        "B": [(k, j) for j in bs],
+        "C": [(i, k) for i in cs],
+        "D": [(i, j) for i in cs for j in bs],
+    }
+
+
+def blocked_gep_inplace(
+    spec: GepSpec,
+    c: np.ndarray,
+    r: int,
+    kernel,
+    stats=None,
+    runtime=None,
+    bounds: list[int] | None = None,
+) -> np.ndarray:
+    """Run the blocked A/B‖C/D schedule on table ``c`` in place.
+
+    Parameters
+    ----------
+    spec, c:
+        GEP problem and its square table (modified in place).
+    r:
+        Grid decomposition parameter (number of tile rows/columns).
+    kernel:
+        An :class:`~repro.kernels.iterative.IterativeKernel` or
+        :class:`~repro.kernels.recursive.RecursiveKernel`.
+    stats:
+        Optional :class:`~repro.kernels.stats.KernelStats` sink.
+    runtime:
+        Optional :class:`~repro.kernels.openmp.OmpRuntime`; when given,
+        stage-2 and stage-3 tile kernels of each iteration run as
+        parallel-for batches (they write disjoint tiles).
+    bounds:
+        Explicit tile boundaries (``[0, ..., n]``, strictly increasing).
+        Blocked GEP is correct for *any* contiguous partition of the
+        index range — the property-based tests exercise arbitrary
+        boundaries — so callers may hand-shape tiles; ``r`` is ignored
+        when given.
+    """
+    n = c.shape[0]
+    if c.shape[0] != c.shape[1]:
+        raise ValueError("blocked GEP requires a square table")
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    if bounds is None:
+        bounds = grid_bounds(n, r)
+    else:
+        bounds = list(bounds)
+        if (
+            bounds[0] != 0
+            or bounds[-1] != n
+            or any(a >= b for a, b in zip(bounds, bounds[1:]))
+        ):
+            raise ValueError(
+                f"bounds must be strictly increasing from 0 to {n}, got {bounds}"
+            )
+    nt = len(bounds) - 1
+
+    def tile(i: int, j: int) -> np.ndarray:
+        return c[bounds[i] : bounds[i + 1], bounds[j] : bounds[j + 1]]
+
+    def run_batch(calls: Sequence[tuple]) -> None:
+        if runtime is None:
+            for call in calls:
+                kernel.run(*call, stats=stats)
+        else:
+            runtime.parallel_for(
+                [(lambda cl=call: kernel.run(*cl, stats=stats)) for call in calls]
+            )
+
+    for k in range(nt):
+        gk0 = bounds[k]
+        if not any(spec.k_active(gk, n) for gk in range(gk0, bounds[k + 1])):
+            continue
+        pivot = tile(k, k)
+        kernel.run("A", pivot, pivot, pivot, pivot, gk0, gk0, gk0, n, stats=stats)
+        bc_calls = [
+            ("B", tile(k, j), pivot, tile(k, j), pivot, gk0, bounds[j], gk0, n)
+            for j in b_range(spec, k, nt)
+        ] + [
+            ("C", tile(i, k), tile(i, k), pivot, pivot, bounds[i], gk0, gk0, n)
+            for i in c_range(spec, k, nt)
+        ]
+        run_batch(bc_calls)
+        d_calls = [
+            ("D", tile(i, j), tile(i, k), tile(k, j), pivot, bounds[i], bounds[j], gk0, n)
+            for i in c_range(spec, k, nt)
+            for j in b_range(spec, k, nt)
+        ]
+        run_batch(d_calls)
+    return c
+
+
+def virtual_pad(spec: GepSpec, table: np.ndarray, target_n: int) -> np.ndarray:
+    """Embed ``table`` into a ``target_n``-sized table with inert padding.
+
+    Implements the paper's §IV-A virtual padding: the padded cells are
+    chosen (per spec) so no update involving them ever changes a cell in
+    the original index range.
+    """
+    n = table.shape[0]
+    if table.shape[0] != table.shape[1]:
+        raise ValueError("virtual_pad requires a square table")
+    if target_n < n:
+        raise ValueError("target size smaller than table")
+    if target_n == n:
+        return np.array(table, dtype=spec.dtype, copy=True)
+    out = np.empty((target_n, target_n), dtype=spec.dtype)
+    out[:n, :n] = table
+    off_diag = spec.pad_value(0, 1)
+    diag = spec.pad_value(0, 0)
+    out[n:, :] = off_diag
+    out[:, n:] = off_diag
+    idx = np.arange(n, target_n)
+    out[idx, idx] = diag
+    return out
+
+
+def virtual_unpad(table: np.ndarray, n: int) -> np.ndarray:
+    """Extract the original ``n x n`` corner of a padded table."""
+    return table[:n, :n]

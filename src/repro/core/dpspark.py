@@ -1,0 +1,496 @@
+"""The distributed GEP drivers: In-Memory and Collect-Broadcast.
+
+This module is the paper's §IV-C — the top-level "Spark programs" of
+Listings 1 and 2, generalized over any :class:`~repro.core.gep.GepSpec`
+and either kernel family, running on the :mod:`repro.sparkle` engine.
+
+The DP table is decomposed into an ``r x r`` grid of tiles held in a
+pair RDD keyed by tile coordinate; each outer iteration ``k`` runs the
+A → (B ‖ C) → D stage pattern:
+
+* **IM (In-Memory, Listing 1)** — every kernel emits, besides its
+  updated tile, the *copies* its consumers need (the pivot tile fans
+  out to ``2(r-k-1) + (r-k-1)^2`` copies for GE); wide
+  ``combineByKey`` transformations couple each consumer tile with its
+  operands.  Entirely RDD-resident, but shuffle-heavy, and constrained
+  by the shuffle staging capacity (the paper's SSD limit).
+* **CB (Collect-Broadcast, Listing 2)** — pivot-generation tiles are
+  ``collect()``-ed to the driver and re-distributed through shared
+  persistent storage; consumer kernels read their operands from storage
+  instead of the shuffle.  Trades shuffle traffic for driver/storage
+  traffic.
+
+Both produce bit-identical results to the single-node blocked executor
+(and hence to the scalar reference); the integration tests pin that
+down across strategies, kernels, grid shapes and partitioners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..kernels import IterativeKernel, LockingKernelStats, RecursiveKernel
+from ..kernels.openmp import OmpRuntime
+from ..sparkle import HashPartitioner, Partitioner, SparkleContext
+from ..sparkle.metrics import EngineMetrics
+from .blocked import b_range, c_range, grid_bounds
+from .gep import GepSpec
+
+__all__ = ["GepSparkSolver", "SolveReport", "make_kernel"]
+
+
+def make_kernel(
+    spec: GepSpec,
+    kind: str = "iterative",
+    *,
+    r_shared: int = 2,
+    base_size: int = 64,
+    omp_threads: int = 1,
+    pure_loop: bool = False,
+):
+    """Build a tile kernel by name: ``"iterative"`` or ``"recursive"``.
+
+    Mirrors the paper's four benchmark configurations: IM/CB cross
+    iterative/recursive, with ``r_shared`` and ``OMP_NUM_THREADS``
+    applying to the recursive family only.
+    """
+    if kind == "iterative":
+        return IterativeKernel(spec, pure_loop=pure_loop)
+    if kind == "recursive":
+        runtime = OmpRuntime(omp_threads)
+        return RecursiveKernel(spec, r_shared=r_shared, base_size=base_size, runtime=runtime)
+    raise ValueError(f"unknown kernel kind {kind!r}")
+
+
+@dataclass
+class SolveReport:
+    """Everything observable about one distributed solve.
+
+    The cluster cost model consumes ``engine_metrics`` (stage/shuffle/
+    collect/storage trace) together with the solve configuration to
+    produce simulated cluster seconds.
+    """
+
+    spec_name: str
+    strategy: str
+    n: int
+    r: int
+    kernel: dict[str, Any]
+    num_partitions: int
+    engine_metrics: EngineMetrics | None = None
+    kernel_stats: Any = None
+    wall_seconds: float = 0.0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, Any]:
+        out = {
+            "spec": self.spec_name,
+            "strategy": self.strategy,
+            "n": self.n,
+            "r": self.r,
+            "kernel": dict(self.kernel),
+            "partitions": self.num_partitions,
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+        if self.engine_metrics is not None:
+            out.update(self.engine_metrics.summary())
+        if self.kernel_stats is not None:
+            out["kernel_updates"] = self.kernel_stats.updates
+            out["kernel_invocations"] = self.kernel_stats.total_invocations
+        return out
+
+
+class GepSparkSolver:
+    """Distributed GEP solver over the sparkle engine.
+
+    Parameters
+    ----------
+    spec:
+        The GEP problem.
+    sc:
+        An active :class:`~repro.sparkle.SparkleContext`.
+    r:
+        Grid decomposition parameter (``r x r`` tiles).  The paper tunes
+        this against block size; tiles are near-equal when ``r ∤ n``.
+    kernel:
+        A tile kernel from :func:`make_kernel` (or compatible).
+    strategy:
+        ``"im"`` (Listing 1), ``"cb"`` (Listing 2), or ``"bcast"`` — a
+        design-space ablation beyond the paper: like CB, but the driver
+        re-distributes pivot-generation tiles with Spark broadcast
+        variables instead of shared persistent storage (charging
+        ``nbytes x executors`` of network instead of storage I/O).  Not
+        covered by the cluster cost model.
+    num_partitions:
+        RDD partition count (paper default: 2x total cores).
+    partitioner:
+        Partitioner instance; default hash (the paper's choice), or a
+        :class:`~repro.sparkle.GridPartitioner` for the §VI ablation.
+    collect_stats:
+        Record kernel work counters (thread-safe, slight overhead).
+    checkpoint_every:
+        Truncate the DP RDD's lineage every this many iterations
+        (Spark-style checkpointing) so driver DAG-walk costs stay bounded
+        for large ``r``; ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        spec: GepSpec,
+        sc: SparkleContext,
+        *,
+        r: int,
+        kernel,
+        strategy: str = "im",
+        num_partitions: int | None = None,
+        partitioner: Partitioner | None = None,
+        collect_stats: bool = True,
+        checkpoint_every: int | None = None,
+    ) -> None:
+        if strategy not in ("im", "cb", "bcast"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if r < 1:
+            raise ValueError("r must be >= 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.checkpoint_every = checkpoint_every
+        self.spec = spec
+        self.sc = sc
+        self.r = r
+        self.kernel = kernel
+        self.strategy = strategy
+        self.num_partitions = (
+            num_partitions if num_partitions is not None else sc.default_parallelism
+        )
+        self.partitioner = partitioner or HashPartitioner(self.num_partitions)
+        self.stats = LockingKernelStats() if collect_stats else None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def solve(self, table: np.ndarray) -> tuple[np.ndarray, SolveReport]:
+        """Run the full GEP on ``table``; returns (result, report)."""
+        import time
+
+        if table.ndim != 2 or table.shape[0] != table.shape[1]:
+            raise ValueError("GEP requires a square table")
+        start = time.perf_counter()
+        n = table.shape[0]
+        bounds = grid_bounds(n, self.r)
+        nt = len(bounds) - 1
+        dp = self._initial_rdd(table, bounds, nt)
+        for k in range(nt):
+            if not any(
+                self.spec.k_active(g, n) for g in range(bounds[k], bounds[k + 1])
+            ):
+                continue
+            if self.strategy == "im":
+                dp = self._im_iteration(dp, k, bounds, nt, n)
+            elif self.strategy == "cb":
+                dp = self._cb_iteration(dp, k, bounds, nt, n)
+            else:
+                dp = self._bcast_iteration(dp, k, bounds, nt, n)
+            if (
+                self.checkpoint_every is not None
+                and (k + 1) % self.checkpoint_every == 0
+            ):
+                dp = dp.checkpoint()
+        result = self._assemble(dp, bounds, n, dtype=self.spec.dtype)
+        report = SolveReport(
+            spec_name=self.spec.name,
+            strategy=self.strategy,
+            n=n,
+            r=self.r,
+            kernel=self.kernel.describe(),
+            num_partitions=self.num_partitions,
+            engine_metrics=self.sc.metrics,
+            kernel_stats=self.stats,
+            wall_seconds=time.perf_counter() - start,
+        )
+        return result, report
+
+    # ------------------------------------------------------------------
+    # setup / teardown
+    # ------------------------------------------------------------------
+    def _initial_rdd(self, table: np.ndarray, bounds: list[int], nt: int):
+        tiles = []
+        for i in range(nt):
+            for j in range(nt):
+                tile = np.ascontiguousarray(
+                    table[bounds[i] : bounds[i + 1], bounds[j] : bounds[j + 1]],
+                    dtype=self.spec.dtype,
+                )
+                tiles.append(((i, j), tile))
+        return self.sc.parallelize(tiles, self.num_partitions).partitionBy(
+            partitioner=self.partitioner
+        )
+
+    def _assemble(self, dp, bounds: list[int], n: int, dtype) -> np.ndarray:
+        out = np.empty((n, n), dtype=dtype)
+        for (i, j), tile in dp.collect():
+            out[bounds[i] : bounds[i + 1], bounds[j] : bounds[j + 1]] = tile
+        return out
+
+    # ------------------------------------------------------------------
+    # kernel wrappers (closure-captured into tasks)
+    # ------------------------------------------------------------------
+    def _run_kernel(self, case, x, u, v, w, gi0, gj0, gk0, n):
+        self.kernel.run(case, x, u, v, w, gi0, gj0, gk0, n, stats=self.stats)
+
+    # ------------------------------------------------------------------
+    # In-Memory strategy (Listing 1)
+    # ------------------------------------------------------------------
+    def _im_iteration(self, dp, k: int, bounds: list[int], nt: int, n: int):
+        spec, part = self.spec, self.partitioner
+        bs = b_range(spec, k, nt)
+        cs = c_range(spec, k, nt)
+        b_keys = frozenset((k, j) for j in bs)
+        c_keys = frozenset((i, k) for i in cs)
+        d_keys = frozenset((i, j) for i in cs for j in bs)
+        gk0 = bounds[k]
+        runner = self._run_kernel
+
+        # ---- stage 1: kernel A on the pivot tile, with consumer copies
+        needs_w = spec.needs_w
+
+        def a_rec(kv):
+            (key, tile) = kv
+            x = tile.copy()
+            runner("A", x, x, x, x, gk0, gk0, gk0, n)
+            out = [(key, ("x", x))]
+            for bk_ in b_keys:
+                out.append((bk_, ("uw", x)))
+            for ck_ in c_keys:
+                out.append((ck_, ("vw", x)))
+            if needs_w:
+                # Only GEPs whose f reads c[k,k] (e.g. GE) fan the pivot
+                # out to every D consumer — the heavy pattern that makes
+                # IM lose to CB on the GE benchmark (paper §V-C).
+                for dk_ in d_keys:
+                    out.append((dk_, ("w", x)))
+            return out
+
+        a_out = (
+            dp.filter(lambda kv: kv[0] == (k, k))
+            .flatMap(a_rec)
+            .partitionBy(partitioner=part)
+            .cache()
+        )
+        a_updated = a_out.filter(lambda kv: kv[0] == (k, k)).mapValues(lambda rv: rv[1])
+
+        if not bs and not cs:
+            untouched = dp.filter(lambda kv: kv[0] != (k, k))
+            return self.sc.union([untouched, a_updated]).partitionBy(partitioner=part)
+
+        # ---- stage 2: kernels B and C, coupled with pivot copies
+        def bc_rec(kv):
+            key, roles = kv
+            i, j = key
+            x = roles["x"].copy()
+            if i == k:  # B: pivot row; V aliases X
+                pivot = roles["uw"]
+                runner("B", x, pivot, x, pivot, gk0, bounds[j], gk0, n)
+                out = [(key, ("x", x))]
+                out.extend(((ii, j), ("v", x)) for ii in cs)
+            else:  # C: pivot column; U aliases X
+                pivot = roles["vw"]
+                runner("C", x, x, pivot, pivot, bounds[i], gk0, gk0, n)
+                out = [(key, ("x", x))]
+                out.extend(((i, jj), ("u", x)) for jj in bs)
+            return out
+
+        bc_keys = b_keys | c_keys
+        bc_in = self.sc.union(
+            [
+                dp.filter(lambda kv: kv[0] in bc_keys).mapValues(lambda t: ("x", t)),
+                a_out.filter(lambda kv: kv[0] in bc_keys),
+            ]
+        )
+        bc_out = (
+            bc_in.combineByKey(
+                _role_create, _role_merge_value, _role_merge_combiners, part
+            )
+            .flatMap(bc_rec)
+            .partitionBy(partitioner=part)
+            .cache()
+        )
+        bc_updated = bc_out.filter(lambda kv: kv[0] in bc_keys).mapValues(
+            lambda rv: rv[1]
+        )
+
+        # ---- stage 3: kernels D, coupled with U/V/W copies
+        def d_rec(kv):
+            key, roles = kv
+            i, j = key
+            x = roles["x"].copy()
+            runner(
+                "D", x, roles["u"], roles["v"], roles.get("w"),
+                bounds[i], bounds[j], gk0, n,
+            )
+            return (key, x)
+
+        d_sources = [
+            dp.filter(lambda kv: kv[0] in d_keys).mapValues(lambda t: ("x", t)),
+            bc_out.filter(lambda kv: kv[0] in d_keys),
+        ]
+        if needs_w:
+            d_sources.insert(1, a_out.filter(lambda kv: kv[0] in d_keys))
+        d_in = self.sc.union(d_sources)
+        d_updated = d_in.combineByKey(
+            _role_create, _role_merge_value, _role_merge_combiners, part
+        ).map(d_rec)
+
+        touched = {(k, k)} | bc_keys | d_keys
+        untouched = dp.filter(lambda kv: kv[0] not in touched)
+        return self.sc.union(
+            [untouched, a_updated, bc_updated, d_updated]
+        ).partitionBy(partitioner=part)
+
+    # ------------------------------------------------------------------
+    # Collect-Broadcast strategy (Listing 2)
+    # ------------------------------------------------------------------
+    def _cb_iteration(self, dp, k: int, bounds: list[int], nt: int, n: int):
+        spec, part, storage = self.spec, self.partitioner, self.sc.shared_storage
+        bs = b_range(spec, k, nt)
+        cs = c_range(spec, k, nt)
+        b_keys = frozenset((k, j) for j in bs)
+        c_keys = frozenset((i, k) for i in cs)
+        d_keys = frozenset((i, j) for i in cs for j in bs)
+        gk0 = bounds[k]
+        runner = self._run_kernel
+
+        # ---- stage 1: kernel A; collect to the driver, stage to storage
+        def a_rec(tile):
+            x = tile.copy()
+            runner("A", x, x, x, x, gk0, gk0, gk0, n)
+            return x
+
+        a_block = dp.filter(lambda kv: kv[0] == (k, k)).mapValues(a_rec).cache()
+        for _key, arr in a_block.collect():
+            storage.put(("pivot", k), arr)
+
+        if not bs and not cs:
+            untouched = dp.filter(lambda kv: kv[0] != (k, k))
+            return self.sc.union([untouched, a_block]).partitionBy(partitioner=part)
+
+        # ---- stage 2: kernels B and C, reading the pivot from storage
+        def bc_rec(kv):
+            key, tile = kv
+            i, j = key
+            x = tile.copy()
+            pivot = storage.get(("pivot", k))
+            if i == k:
+                runner("B", x, pivot, x, pivot, gk0, bounds[j], gk0, n)
+            else:
+                runner("C", x, x, pivot, pivot, bounds[i], gk0, gk0, n)
+            return (key, x)
+
+        bc_keys = b_keys | c_keys
+        bc_blocks = dp.filter(lambda kv: kv[0] in bc_keys).map(bc_rec).cache()
+        for key, arr in bc_blocks.collect():
+            storage.put(("bc", k, key), arr)
+
+        # ---- stage 3: kernels D, reading operands from storage (lazy)
+        needs_w = spec.needs_w
+
+        def d_rec(kv):
+            key, tile = kv
+            i, j = key
+            x = tile.copy()
+            u = storage.get(("bc", k, (i, k)))
+            v = storage.get(("bc", k, (k, j)))
+            w = storage.get(("pivot", k)) if needs_w else None
+            runner("D", x, u, v, w, bounds[i], bounds[j], gk0, n)
+            return (key, x)
+
+        d_blocks = dp.filter(lambda kv: kv[0] in d_keys).map(d_rec)
+
+        touched = {(k, k)} | bc_keys | d_keys
+        untouched = dp.filter(lambda kv: kv[0] not in touched)
+        return self.sc.union(
+            [untouched, a_block, bc_blocks, d_blocks]
+        ).partitionBy(partitioner=part)
+
+
+    # ------------------------------------------------------------------
+    # Broadcast strategy (ablation): CB with broadcast variables
+    # ------------------------------------------------------------------
+    def _bcast_iteration(self, dp, k: int, bounds: list[int], nt: int, n: int):
+        spec, part = self.spec, self.partitioner
+        bs = b_range(spec, k, nt)
+        cs = c_range(spec, k, nt)
+        b_keys = frozenset((k, j) for j in bs)
+        c_keys = frozenset((i, k) for i in cs)
+        d_keys = frozenset((i, j) for i in cs for j in bs)
+        gk0 = bounds[k]
+        runner = self._run_kernel
+
+        def a_rec(tile):
+            x = tile.copy()
+            runner("A", x, x, x, x, gk0, gk0, gk0, n)
+            return x
+
+        a_block = dp.filter(lambda kv: kv[0] == (k, k)).mapValues(a_rec).cache()
+        collected = a_block.collect()
+        pivot_bc = self.sc.broadcast(collected[0][1])
+
+        if not bs and not cs:
+            untouched = dp.filter(lambda kv: kv[0] != (k, k))
+            return self.sc.union([untouched, a_block]).partitionBy(partitioner=part)
+
+        def bc_rec(kv):
+            key, tile = kv
+            i, j = key
+            x = tile.copy()
+            pivot = pivot_bc.value
+            if i == k:
+                runner("B", x, pivot, x, pivot, gk0, bounds[j], gk0, n)
+            else:
+                runner("C", x, x, pivot, pivot, bounds[i], gk0, gk0, n)
+            return (key, x)
+
+        bc_keys = b_keys | c_keys
+        bc_blocks = dp.filter(lambda kv: kv[0] in bc_keys).map(bc_rec).cache()
+        band_bc = self.sc.broadcast(dict(bc_blocks.collect()))
+        needs_w = spec.needs_w
+
+        def d_rec(kv):
+            key, tile = kv
+            i, j = key
+            x = tile.copy()
+            band = band_bc.value
+            runner(
+                "D", x, band[(i, k)], band[(k, j)],
+                pivot_bc.value if needs_w else None,
+                bounds[i], bounds[j], gk0, n,
+            )
+            return (key, x)
+
+        d_blocks = dp.filter(lambda kv: kv[0] in d_keys).map(d_rec)
+        touched = {(k, k)} | bc_keys | d_keys
+        untouched = dp.filter(lambda kv: kv[0] not in touched)
+        return self.sc.union(
+            [untouched, a_block, bc_blocks, d_blocks]
+        ).partitionBy(partitioner=part)
+
+
+# ----------------------------------------------------------------------
+# combineByKey role aggregation
+# ----------------------------------------------------------------------
+def _role_create(rv):
+    role, arr = rv
+    return {role: arr}
+
+
+def _role_merge_value(acc, rv):
+    role, arr = rv
+    acc[role] = arr
+    return acc
+
+
+def _role_merge_combiners(a, b):
+    a.update(b)
+    return a

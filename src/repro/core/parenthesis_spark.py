@@ -1,0 +1,135 @@
+"""Distributed parenthesis DP: a wavefront driver on the sparkle engine.
+
+This carries the paper's §VI extension the rest of the way: the
+parenthesis recurrence (non-GEP — its dependencies run along interval
+*lengths*, not a pivot index) mapped onto the same tile-grid / shared-
+storage machinery as the Collect-Broadcast GEP driver.
+
+The cost table's upper triangle is decomposed into an ``r x r`` tile
+grid.  Tile ``(I, J)`` (rows in chunk I, columns in chunk J) depends on
+its row band ``(I, K)`` and column band ``(K, J)`` for ``I <= K <= J`` —
+all on *strictly smaller tile diagonals* plus shorter intervals of the
+tile itself.  Tiles on one diagonal are mutually independent, so the
+driver sweeps diagonals ``d = 0 .. r-1`` as parallel map stages
+(the wavefront), staging finished tiles in shared storage exactly like
+the CB GEP driver stages pivot blocks.
+
+The tile kernel assembles its row/column bands and closes its cells in
+increasing interval length with the same vectorized min-scan the
+single-node solver uses, so the distributed result is bit-identical to
+:func:`repro.core.parenthesis.parenthesis_solve` (pinned by tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparkle import SparkleContext
+from ..util import near_equal_splits
+from .parenthesis import CostFn
+
+__all__ = ["parenthesis_solve_spark"]
+
+
+def parenthesis_solve_spark(
+    n: int,
+    cost: CostFn,
+    sc: SparkleContext,
+    *,
+    r: int = 4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distributed parenthesis DP; same contract as ``parenthesis_solve``.
+
+    Parameters
+    ----------
+    n, cost:
+        As in :func:`repro.core.parenthesis.parenthesis_solve` (``cost``
+        must be picklable-by-reference, i.e. a plain function/closure).
+    sc:
+        Engine context.
+    r:
+        Tile grid parameter (``r x r`` upper-triangular tile grid).
+    """
+    if n < 2:
+        raise ValueError("need at least two endpoints")
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    bounds = near_equal_splits(n, r)
+    nt = len(bounds) - 1
+    storage = sc.shared_storage
+
+    def tile_shape(i: int, j: int) -> tuple[int, int]:
+        return bounds[i + 1] - bounds[i], bounds[j + 1] - bounds[j]
+
+    def solve_tile(key: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        """Close every cell of tile ``key`` using staged smaller tiles."""
+        ti, tj = key
+        lo_i, hi_i = bounds[ti], bounds[ti + 1]
+        lo_j, hi_j = bounds[tj], bounds[tj + 1]
+        # Assemble the row band C[lo_i:hi_i, lo_i:hi_j] and the column
+        # band C[lo_i:hi_j, lo_j:hi_j] from finished tiles (the current
+        # tile's region stays inf and fills in as we close cells).
+        span0 = lo_i
+        width = hi_j - span0
+        row_band = np.full((hi_i - lo_i, width), np.inf)
+        col_band = np.full((width, hi_j - lo_j), np.inf)
+        for tk in range(ti, tj + 1):
+            if (ti, tk) != key and tk >= ti:
+                block = storage.get(("ptile", ti, tk))[0]
+                row_band[:, bounds[tk] - span0 : bounds[tk + 1] - span0] = block
+            if (tk, tj) != key:
+                block = storage.get(("ptile", tk, tj))[0]
+                col_band[bounds[tk] - span0 : bounds[tk + 1] - span0, :] = block
+        c_tile = np.full(tile_shape(ti, tj), np.inf)
+        split_tile = np.full(tile_shape(ti, tj), -1, dtype=np.int64)
+
+        def write(i: int, j: int, value: float, k: int) -> None:
+            c_tile[i - lo_i, j - lo_j] = value
+            split_tile[i - lo_i, j - lo_j] = k
+            row_band[i - lo_i, j - span0] = value
+            col_band[i - span0, j - lo_j] = value
+
+        # Unit intervals cost 0 (only on diagonal tiles).
+        for i in range(lo_i, hi_i):
+            if lo_j <= i + 1 < hi_j:
+                write(i, i + 1, 0.0, -1)
+        # Close the tile's cells in increasing interval length.
+        pairs = sorted(
+            (
+                (i, j)
+                for i in range(lo_i, hi_i)
+                for j in range(max(lo_j, i + 2), hi_j)
+            ),
+            key=lambda ij: ij[1] - ij[0],
+        )
+        for i, j in pairs:
+            ks = np.arange(i + 1, j)
+            totals = (
+                row_band[i - lo_i, ks - span0]
+                + col_band[ks - span0, j - lo_j]
+                + cost(i, ks, j)
+            )
+            best = int(np.argmin(totals))
+            write(i, j, float(totals[best]), int(ks[best]))
+        return c_tile, split_tile
+
+    # Wavefront over tile diagonals; tiles within one diagonal run as one
+    # parallel map stage.
+    for d in range(nt):
+        keys = [(i, i + d) for i in range(nt - d)]
+        solved = (
+            sc.parallelize(keys, min(len(keys), sc.default_parallelism))
+            .map(lambda key: (key, solve_tile(key)))
+            .collect()
+        )
+        for key, payload in solved:
+            storage.put(("ptile",) + key, payload)
+
+    c = np.full((n, n), np.inf)
+    split = np.full((n, n), -1, dtype=np.int64)
+    for ti in range(nt):
+        for tj in range(ti, nt):
+            block_c, block_s = storage.get(("ptile", ti, tj))
+            c[bounds[ti] : bounds[ti + 1], bounds[tj] : bounds[tj + 1]] = block_c
+            split[bounds[ti] : bounds[ti + 1], bounds[tj] : bounds[tj + 1]] = block_s
+    return c, split

@@ -1,0 +1,73 @@
+"""Floyd-Warshall with predecessor tracking (routing-table output).
+
+:func:`repro.core.fwapsp.reconstruct_path` recovers paths from distances
+by local search; for query-heavy use (the routing/transportation
+applications §V-A cites) a predecessor matrix answers every path query
+in O(path length).  The tracking update rides along the standard per-k
+FW step::
+
+    better          = d[i,k] + d[k,j] < d[i,j]
+    d[i,j]          = min(d[i,j], d[i,k] + d[k,j])
+    pred[i,j]       = pred[k,j]      where better
+
+``pred[i, j]`` is the vertex preceding ``j`` on a shortest ``i → j``
+path (``-1`` for unreachable / ``i == j``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["floyd_warshall_predecessors", "path_from_predecessors"]
+
+
+def floyd_warshall_predecessors(
+    weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """APSP distances plus the predecessor matrix.
+
+    Returns ``(dist, pred)``; raises on negative cycles (a predecessor
+    matrix is ill-defined then).
+    """
+    d = np.array(weights, dtype=np.float64, copy=True)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError("weight matrix must be square")
+    n = d.shape[0]
+    np.fill_diagonal(d, np.minimum(np.diag(d), 0.0))
+    pred = np.where(
+        np.isfinite(d) & ~np.eye(n, dtype=bool),
+        np.arange(n)[:, None] * np.ones(n, dtype=np.int64)[None, :],
+        -1,
+    ).astype(np.int64)
+    for k in range(n):
+        with np.errstate(invalid="ignore"):
+            cand = d[:, k, None] + d[None, k, :]
+        cand = np.where(np.isnan(cand), np.inf, cand)
+        better = cand < d
+        d = np.where(better, cand, d)
+        pred = np.where(better, pred[k, :][None, :], pred)
+    if (np.diag(d) < 0).any():
+        raise ValueError("graph contains a negative cycle")
+    return d, pred
+
+
+def path_from_predecessors(pred: np.ndarray, src: int, dst: int) -> list[int]:
+    """Shortest path ``src → dst`` as a vertex list (``[src]`` if equal).
+
+    Raises ``ValueError`` when ``dst`` is unreachable from ``src``.
+    """
+    n = pred.shape[0]
+    if not (0 <= src < n and 0 <= dst < n):
+        raise IndexError("vertex out of range")
+    if src == dst:
+        return [src]
+    if pred[src, dst] < 0:
+        raise ValueError(f"{dst} is not reachable from {src}")
+    path = [dst]
+    v = dst
+    for _ in range(n):
+        v = int(pred[src, v])
+        path.append(v)
+        if v == src:
+            return path[::-1]
+    raise ValueError("predecessor matrix is inconsistent")

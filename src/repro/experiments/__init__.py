@@ -1,0 +1,11 @@
+"""Reproduction of the paper's evaluation section (§V).
+
+One module per table/figure, a calibration module documenting how the
+cluster cost model was fitted, and a CLI harness:
+``python -m repro.experiments [table1 table2 fig6 fig7 fig8 fig9 headline]``.
+"""
+
+from .harness import EXPERIMENTS, run_all, run_experiment
+from .report import ExperimentResult, Table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "ExperimentResult", "Table"]

@@ -1,0 +1,7 @@
+"""CLI entry point: ``python -m repro.experiments``."""
+
+import sys
+
+from .harness import main
+
+sys.exit(main())

@@ -1,0 +1,198 @@
+"""Cost-model calibration against the paper's published numbers.
+
+The cluster presets ship rate/penalty constants fitted here: a random
++ coordinate search minimizing mean absolute log-error between the cost
+model and every number the paper prints for cluster 1 (all 30 Table I
+cells, the 26 populated Table II cells, and the §V-C / footnote Fig. 6
+anchors).  Re-run with ``python -m repro.experiments.calibration`` to
+reproduce the fit; EXPERIMENTS.md records the resulting residuals.
+
+Calibration only tunes machine constants — per-core update rates in and
+out of cache, task contention, thread-overlap efficiency,
+oversubscription penalty, shuffle compression, page-cache factor —
+never per-experiment fudge factors: one constant set must explain every
+anchor simultaneously, which is what makes the fitted model usable for
+the sweeps the paper did not print.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from dataclasses import dataclass
+
+from ..cluster import CostModel, ExecutionPlan, analyze_solve, skylake16
+from ..core.gep import FloydWarshallGep, GaussianEliminationGep
+
+__all__ = ["anchor_set", "evaluate", "calibrate", "main"]
+
+N = 32768
+
+#: Table I — GE, CB, 4-way recursive, block 1024 (r = 32); seconds.
+TABLE1 = {
+    2: (381, 387, 425, 461, 771, 1302),
+    4: (264, 262, 288, 324, 534, 944),
+    8: (213, 211, 280, 262, 421, 741),
+    16: (292, 285, 429, 330, 407, 696),
+    32: (581, 601, 752, 656, 668, 829),
+}
+#: Table II — FW, IM, 16-way recursive, block 1024 (r = 32); seconds.
+#: The ec=32 row only lists omp 32 and 16 in the paper.
+TABLE2 = {
+    2: (339, 347, 451, 696, 1209, 2233),
+    4: (310, 310, 334, 508, 864, 1608),
+    8: (302, 303, 321, 403, 688, 1274),
+    16: (323, 342, 410, 330, 407, 1084),
+    32: (360, 446, None, None, None, None),
+}
+OMP_COLS = (32, 16, 8, 4, 2, 1)
+
+
+@dataclass(frozen=True)
+class Anchor:
+    name: str
+    spec: str  # "fw" | "ge"
+    r: int
+    plan: ExecutionPlan
+    paper_seconds: float
+    weight: float = 1.0
+
+
+def anchor_set() -> list[Anchor]:
+    """Every cluster-1 number the paper prints, as (config, seconds)."""
+    anchors: list[Anchor] = []
+    for ec, row in TABLE1.items():
+        for omp, secs in zip(OMP_COLS, row):
+            if secs is None:
+                continue
+            anchors.append(
+                Anchor(
+                    f"T1 ec{ec} omp{omp}", "ge", 32,
+                    ExecutionPlan("cb", "recursive", 4, 64, omp, executor_cores=ec),
+                    secs,
+                )
+            )
+    for ec, row in TABLE2.items():
+        for omp, secs in zip(OMP_COLS, row):
+            if secs is None:
+                continue
+            anchors.append(
+                Anchor(
+                    f"T2 ec{ec} omp{omp}", "fw", 32,
+                    ExecutionPlan("im", "recursive", 16, 64, omp, executor_cores=ec),
+                    secs,
+                )
+            )
+    # §V-C prose + Fig. 6 footnote anchors (best-config cells get more
+    # weight: they are the headline speedup claims).
+    fig6 = [
+        ("FW best iter (IM b256)", "fw", 128, ExecutionPlan("im", "iterative"), 651, 3.0),
+        ("FW best rec (IM 16way b1024)", "fw", 32,
+         ExecutionPlan("im", "recursive", 16, 64, 8, executor_cores=8), 302, 3.0),
+        ("GE best iter (CB b512)", "ge", 64, ExecutionPlan("cb", "iterative"), 1032, 3.0),
+        ("GE best rec (CB 4way b2048)", "ge", 16,
+         ExecutionPlan("cb", "recursive", 4, 64, 16, executor_cores=8), 204, 3.0),
+        ("FW IM iter b4096", "fw", 8, ExecutionPlan("im", "iterative"), 14530, 1.0),
+        ("FW CB iter b4096", "fw", 8, ExecutionPlan("cb", "iterative"), 14480, 1.0),
+        ("GE IM iter b4096", "ge", 8, ExecutionPlan("im", "iterative"), 11344, 1.0),
+        ("GE CB iter b4096", "ge", 8, ExecutionPlan("cb", "iterative"), 15548, 1.0),
+    ]
+    for name, spec, r, plan, secs, w in fig6:
+        anchors.append(Anchor(name, spec, r, plan, secs, w))
+    return anchors
+
+
+_SPECS = {"fw": FloydWarshallGep(), "ge": GaussianEliminationGep()}
+_COUNTS_CACHE: dict[tuple[str, int], object] = {}
+
+
+def _counts(spec_key: str, r: int):
+    key = (spec_key, r)
+    if key not in _COUNTS_CACHE:
+        _COUNTS_CACHE[key] = analyze_solve(_SPECS[spec_key], N, r)
+    return _COUNTS_CACHE[key]
+
+
+def evaluate(cluster, anchors: list[Anchor]) -> tuple[float, list[tuple[Anchor, float]]]:
+    """Mean weighted |log(model/paper)| plus per-anchor model seconds."""
+    model = CostModel(cluster)
+    rows: list[tuple[Anchor, float]] = []
+    err = 0.0
+    wsum = 0.0
+    for a in anchors:
+        est = model.estimate_from_counts(
+            _counts(a.spec, a.r), a.plan, _SPECS[a.spec].update_weight
+        )
+        rows.append((a, est.total))
+        err += a.weight * abs(math.log(est.total / a.paper_seconds))
+        wsum += a.weight
+    return err / wsum, rows
+
+
+#: (field, low, high, log-scale)
+SEARCH_SPACE = [
+    ("update_rate_cache", 1.5e8, 4e9, True),
+    ("update_rate_mem", 3e7, 4e8, True),
+    ("task_contention", 0.005, 0.2, True),
+    ("iter_task_contention", 0.0, 0.05, False),
+    ("thread_serial_overhead", 0.05, 0.85, False),
+    ("oversubscription_penalty", 0.02, 0.5, False),
+    ("shuffle_compression", 1.0, 10.0, False),
+    ("staging_cache_factor", 1.0, 16.0, False),
+    ("recursive_efficiency", 0.80, 0.99, False),
+    ("iterative_efficiency", 0.25, 1.0, False),
+    ("lineage_walk_s", 0.0, 0.15, False),
+    ("job_overhead_s", 0.05, 1.5, False),
+    ("hash_imbalance", 1.0, 1.8, False),
+]
+
+
+def calibrate(
+    iterations: int = 4000, seed: int = 7, base=None, verbose: bool = True
+):
+    """Random search then greedy coordinate refinement."""
+    rng = random.Random(seed)
+    anchors = anchor_set()
+    best = base if base is not None else skylake16()
+    best_err, _ = evaluate(best, anchors)
+
+    def sample(current, temp: float):
+        fields = {}
+        for field, lo, hi, logscale in SEARCH_SPACE:
+            cur = getattr(current, field)
+            if rng.random() < 0.5:
+                fields[field] = cur
+                continue
+            if logscale:
+                span = math.log(hi / lo) * temp
+                val = cur * math.exp(rng.uniform(-span, span))
+            else:
+                span = (hi - lo) * temp
+                val = cur + rng.uniform(-span, span)
+            fields[field] = min(max(val, lo), hi)
+        return dataclasses.replace(current, **fields)
+
+    for i in range(iterations):
+        temp = 0.5 * (1.0 - i / iterations) + 0.02
+        cand = sample(best, temp)
+        err, _ = evaluate(cand, anchors)
+        if err < best_err:
+            best, best_err = cand, err
+            if verbose:
+                print(f"iter {i}: err={err:.4f}")
+    return best, best_err
+
+
+def main() -> None:  # pragma: no cover - manual tool
+    best, err = calibrate()
+    print(f"\nfinal mean |log error| = {err:.4f}  (x{math.exp(err):.2f})")
+    for field, *_ in SEARCH_SPACE:
+        print(f"  {field} = {getattr(best, field):.6g}")
+    _, rows = evaluate(best, anchor_set())
+    for a, est in rows:
+        print(f"  {a.name:32s} model {est:8.1f}  paper {a.paper_seconds:8.1f}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

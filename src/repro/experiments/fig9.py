@@ -1,0 +1,101 @@
+"""Figure 9: weak scaling on 1 / 8 / 64 nodes.
+
+Work per node is held fixed (``N^3 / p``): 4K^3 for FW-APSP and 8K^3
+for GE, so N grows with the cube root of the node count:
+
+=========  =====  =====  =====
+nodes          1      8     64
+FW-APSP N   4096   8192  16384
+GE      N   8192  16384  32768
+=========  =====  =====  =====
+
+Configurations follow §V-C: FW — IM iterative b=512 vs IM 4-way
+recursive b=1024 (OMP 8); GE — CB iterative b=512 vs CB 4-way recursive
+b=1024 (OMP 8).  Ideal weak scaling is a flat line; communication makes
+every curve rise, the recursive-kernel curves more slowly (the paper's
+"recursive CB GE scales better" claim).
+"""
+
+from __future__ import annotations
+
+from ..cluster import CostModel, ExecutionPlan, skylake16
+from ..core.gep import FloydWarshallGep, GaussianEliminationGep
+from .report import ExperimentResult, Table, fmt_seconds
+
+__all__ = ["run_fig9", "weak_scaling_series"]
+
+NODE_COUNTS = (1, 8, 64)
+
+
+def weak_scaling_series(
+    spec, strategy: str, kernel: str, block: int, n_per_node: int, **kernel_kw
+) -> list[float]:
+    """Seconds at each node count with N = n_per_node * p^(1/3)."""
+    out = []
+    for p in NODE_COUNTS:
+        n = n_per_node * round(p ** (1.0 / 3.0))
+        r = max(1, n // block)
+        model = CostModel(skylake16(nodes=p))
+        plan = ExecutionPlan(strategy, kernel, **kernel_kw)
+        out.append(model.estimate(spec, n, r, plan).total)
+    return out
+
+
+def run_fig9(fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig9",
+        "Weak scaling (fixed work per node) on 1/8/64 skylake nodes; "
+        "seconds — flat is ideal",
+    )
+    series = {
+        ("FW", "IM iterative b512"): weak_scaling_series(
+            FloydWarshallGep(), "im", "iterative", 512, 4096
+        ),
+        ("FW", "IM 4-way rec b1024 omp8"): weak_scaling_series(
+            FloydWarshallGep(), "im", "recursive", 1024, 4096,
+            r_shared=4, omp_threads=8, executor_cores=8,
+        ),
+        ("GE", "CB iterative b512"): weak_scaling_series(
+            GaussianEliminationGep(), "cb", "iterative", 512, 8192
+        ),
+        ("GE", "CB 4-way rec b1024 omp8"): weak_scaling_series(
+            GaussianEliminationGep(), "cb", "recursive", 1024, 8192,
+            r_shared=4, omp_threads=8, executor_cores=8,
+        ),
+    }
+    result.tables.append(
+        Table(
+            "Fig 9 — weak scaling",
+            [f"p={p}" for p in NODE_COUNTS],
+            [f"{b} / {c}" for (b, c) in series],
+            list(series.values()),
+        )
+    )
+
+    def growth(vals: list[float]) -> float:
+        return vals[-1] / vals[0]
+
+    ge_iter = growth(series[("GE", "CB iterative b512")])
+    ge_rec = growth(series[("GE", "CB 4-way rec b1024 omp8")])
+    result.add_claim(
+        "GE: recursive CB scales better than iterative CB (smaller 1→64 growth)",
+        "recursive flatter",
+        f"iterative x{ge_iter:.2f} vs recursive x{ge_rec:.2f}",
+        ge_rec < ge_iter,
+    )
+    fw_iter = growth(series[("FW", "IM iterative b512")])
+    fw_rec = growth(series[("FW", "IM 4-way rec b1024 omp8")])
+    result.add_claim(
+        "FW: recursive kernels scale at least as well as iterative",
+        "recursive <= iterative growth",
+        f"iterative x{fw_iter:.2f} vs recursive x{fw_rec:.2f}",
+        fw_rec <= fw_iter * 1.1,
+    )
+    rising = all(vals[-1] > vals[0] for vals in series.values())
+    result.add_claim(
+        "no configuration scales ideally (communication grows with p)",
+        "curves rise",
+        "all curves rise" if rising else "some flat/falling",
+        rising,
+    )
+    return result

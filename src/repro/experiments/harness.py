@@ -1,0 +1,69 @@
+"""Experiment registry and CLI.
+
+``python -m repro.experiments [name ...]`` runs the requested
+reproductions (default: all) and prints their reports.  Each experiment
+regenerates one table or figure of the paper's §V; benchmarks/ wraps the
+same entry points under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .fig9 import run_fig9
+from .headline import run_headline
+from .report import ExperimentResult
+from .tables import run_table1, run_table2
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "main"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "headline": run_headline,
+}
+
+
+def run_experiment(name: str, fast: bool = False) -> ExperimentResult:
+    """Run one registered experiment by name."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(fast=fast)
+
+
+def run_all(fast: bool = False) -> list[ExperimentResult]:
+    return [run_experiment(name, fast=fast) for name in EXPERIMENTS]
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names", nargs="*", default=list(EXPERIMENTS), metavar="EXPERIMENT",
+        help=f"which to run (default all): {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument("--fast", action="store_true", help="smaller real-engine runs")
+    args = parser.parse_args(argv)
+    failed = 0
+    for name in args.names:
+        result = run_experiment(name, fast=args.fast)
+        print(result.render())
+        print()
+        if not result.all_claims_hold:
+            failed += 1
+    return 1 if failed else 0

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment tables and series.
+
+The paper's artifacts are tables and bar/line figures; offline we render
+them as aligned text so every benchmark target can print the same rows
+the paper reports and EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Table", "ExperimentResult", "fmt_seconds"]
+
+
+def fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "—"
+    if value >= 28800:  # the paper's 8-hour execution cap
+        return ">8h"
+    if value >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.0f}"
+
+
+@dataclass
+class Table:
+    """One titled grid with row/column headers."""
+
+    title: str
+    col_headers: Sequence[str]
+    row_headers: Sequence[str]
+    rows: Sequence[Sequence[Any]]
+    note: str = ""
+
+    def render(self) -> str:
+        widths = [max(len(str(h)), 8) for h in self.col_headers]
+        stub = max((len(str(r)) for r in self.row_headers), default=4) + 2
+        out = [self.title, "-" * len(self.title)]
+        header = " " * stub + "".join(
+            f"{str(h):>{w + 2}}" for h, w in zip(self.col_headers, widths)
+        )
+        out.append(header)
+        for rh, row in zip(self.row_headers, self.rows):
+            cells = "".join(
+                f"{(fmt_seconds(c) if isinstance(c, (int, float)) else str(c)):>{w + 2}}"
+                for c, w in zip(row, widths)
+            )
+            out.append(f"{str(rh):<{stub}}" + cells)
+        if self.note:
+            out.append(f"note: {self.note}")
+        return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produces."""
+
+    experiment: str
+    description: str
+    tables: list[Table] = field(default_factory=list)
+    claims: list[tuple[str, str, str, bool]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_claim(self, claim: str, paper: str, measured: str, holds: bool) -> None:
+        """Record one paper-vs-measured shape check."""
+        self.claims.append((claim, paper, measured, holds))
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(ok for *_, ok in self.claims)
+
+    def render(self) -> str:
+        out = [f"== {self.experiment}: {self.description} ==", ""]
+        for t in self.tables:
+            out.append(t.render())
+            out.append("")
+        if self.claims:
+            out.append("shape claims (paper vs. this reproduction):")
+            for claim, paper, measured, ok in self.claims:
+                flag = "OK " if ok else "FAIL"
+                out.append(f"  [{flag}] {claim}: paper {paper} | measured {measured}")
+            out.append("")
+        for n in self.notes:
+            out.append(f"note: {n}")
+        return "\n".join(out)

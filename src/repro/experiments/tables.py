@@ -1,0 +1,142 @@
+"""Tables I and II: executor-cores x OMP_NUM_THREADS grids (§V-C).
+
+Table I: GE, Collect-Broadcast, 4-way recursive kernels, 32K x 32K with
+1K blocks (r = 32).  Table II: FW-APSP, In-Memory, 16-way recursive
+kernels, same geometry.  Both sweep ``executor-cores`` in {2..32} and
+``OMP_NUM_THREADS`` in {1..32} on cluster 1 and exhibit the same
+pattern: threads help until the node saturates; large executor-core
+counts degrade (concurrent OpenMP tasks thrash); the best cells sit at
+moderate concurrency x moderate threading.
+"""
+
+from __future__ import annotations
+
+from ..cluster import CostModel, ExecutionPlan, skylake16
+from ..core.gep import FloydWarshallGep, GaussianEliminationGep
+from .calibration import N, OMP_COLS, TABLE1, TABLE2
+from .report import ExperimentResult, Table
+
+__all__ = ["run_table1", "run_table2"]
+
+EC_ROWS = (2, 4, 8, 16, 32)
+
+
+def _grid(spec, strategy: str, r_shared: int, r: int, n: int, cluster=None):
+    model = CostModel(cluster or skylake16())
+    rows = []
+    for ec in EC_ROWS:
+        row = []
+        for omp in OMP_COLS:
+            plan = ExecutionPlan(
+                strategy, "recursive", r_shared, 64, omp, executor_cores=ec
+            )
+            row.append(model.estimate(spec, n, r, plan).total)
+        rows.append(row)
+    return rows
+
+
+def _check_grid(result: ExperimentResult, rows, paper, label: str) -> None:
+    """The shape claims shared by both tables."""
+    model_cells = {
+        (ec, omp): rows[i][j]
+        for i, ec in enumerate(EC_ROWS)
+        for j, omp in enumerate(OMP_COLS)
+    }
+    paper_cells = {
+        (ec, omp): v
+        for ec, vals in paper.items()
+        for omp, v in zip(OMP_COLS, vals)
+        if v is not None
+    }
+    # 1. OMP=1 is the worst column of every row.
+    omp1_worst = all(
+        model_cells[(ec, 1)] >= max(model_cells[(ec, o)] for o in OMP_COLS if o != 1)
+        for ec in EC_ROWS
+    )
+    result.add_claim(
+        f"{label}: OMP_NUM_THREADS=1 is the slowest column of every row",
+        "true", str(omp1_worst).lower(), omp1_worst,
+    )
+    # 2. The best model cell sits at moderate executor-cores (not 32).
+    best_model = min(model_cells, key=model_cells.get)
+    best_paper = min(paper_cells, key=paper_cells.get)
+    result.add_claim(
+        f"{label}: best cell at moderate executor-cores",
+        f"ec={best_paper[0]}, omp={best_paper[1]}",
+        f"ec={best_model[0]}, omp={best_model[1]}",
+        best_model[0] <= 8,
+    )
+    # 3. ec=32 rows are dominated by some smaller-ec row at high threads.
+    degraded = all(
+        model_cells[(32, o)] > model_cells[(best_model[0], o)] for o in (32, 16, 8)
+    )
+    result.add_claim(
+        f"{label}: executor-cores=32 degrades vs the best row (thread thrash)",
+        "true", str(degraded).lower(), degraded,
+    )
+    # 4. Best-cell time within 2x of the paper's best.
+    ratio = model_cells[best_model] / paper_cells[best_paper]
+    result.add_claim(
+        f"{label}: best-cell time vs paper",
+        f"{paper_cells[best_paper]:.0f}s",
+        f"{model_cells[best_model]:.0f}s (x{ratio:.2f})",
+        0.5 <= ratio <= 2.0,
+    )
+
+
+def run_table1(fast: bool = False) -> ExperimentResult:
+    """Reproduce Table I (GE, CB, 4-way recursive, b = 1024)."""
+    n = N
+    result = ExperimentResult(
+        "table1",
+        "GE benchmark seconds across executor-cores x OMP_NUM_THREADS "
+        "(CB, 4-way recursive kernels, n=32K, block=1K, cluster 1)",
+    )
+    rows = _grid(GaussianEliminationGep(), "cb", 4, 32, n)
+    result.tables.append(
+        Table(
+            "Table I (model)",
+            [f"omp={o}" for o in OMP_COLS],
+            [f"ec={e}" for e in EC_ROWS],
+            rows,
+        )
+    )
+    result.tables.append(
+        Table(
+            "Table I (paper)",
+            [f"omp={o}" for o in OMP_COLS],
+            [f"ec={e}" for e in EC_ROWS],
+            [list(TABLE1[e]) for e in EC_ROWS],
+        )
+    )
+    _check_grid(result, rows, TABLE1, "Table I")
+    return result
+
+
+def run_table2(fast: bool = False) -> ExperimentResult:
+    """Reproduce Table II (FW-APSP, IM, 16-way recursive, b = 1024)."""
+    n = N
+    result = ExperimentResult(
+        "table2",
+        "FW-APSP benchmark seconds across executor-cores x OMP_NUM_THREADS "
+        "(IM, 16-way recursive kernels, n=32K, block=1K, cluster 1)",
+    )
+    rows = _grid(FloydWarshallGep(), "im", 16, 32, n)
+    result.tables.append(
+        Table(
+            "Table II (model)",
+            [f"omp={o}" for o in OMP_COLS],
+            [f"ec={e}" for e in EC_ROWS],
+            rows,
+        )
+    )
+    result.tables.append(
+        Table(
+            "Table II (paper; blank cells not reported)",
+            [f"omp={o}" for o in OMP_COLS],
+            [f"ec={e}" for e in EC_ROWS],
+            [["—" if v is None else v for v in TABLE2[e]] for e in EC_ROWS],
+        )
+    )
+    _check_grid(result, rows, TABLE2, "Table II")
+    return result

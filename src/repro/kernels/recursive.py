@@ -1,0 +1,264 @@
+"""Parametric r-way recursive divide-&-conquer (r-way R-DP) tile kernels.
+
+This module implements the paper's §IV kernels (Fig. 4) *generically* for
+any :class:`~repro.core.gep.GepSpec`.  The four blocked-GEP cases are
+encoded by which of the updated tile's axes alias the pivot range:
+
+========  ===========  ===========  =================================
+case      rows=pivot?  cols=pivot?  paper function (GE instance)
+========  ===========  ===========  =================================
+``A``     yes          yes          ``A_GE(X, r)``
+``B``     yes          no           ``B_GE(X, U, W, r)``
+``C``     no           yes          ``C_GE(X, V, W, r)``
+``D``     no           no           ``D_GE(X, U, V, W, r)``
+========  ===========  ===========  =================================
+
+Each recursive call splits every axis into (at most) ``r`` near-equal
+parts and re-dispatches sub-tiles by the same aliasing classification;
+sub-calls execute in the dependency-minimal stage order derived by the
+inline-and-optimize methodology (A, then B‖C, then D within every
+sub-iteration), with each stage's independent calls issued to the
+simulated OpenMP runtime as one ``parallel_for``.  Reaching the base
+size, the iterative tile kernel runs.  The axis loop ranges follow the
+spec's Σ_G constraints (``i > k``/``j > k`` for GE, ``≠ k`` for FW),
+which reproduces Fig. 4's ranges exactly.
+
+Everything operates on NumPy *views* of the caller's tile — the
+recursion allocates no copies (the guides' "views, not copies" rule, and
+the reason the kernels are I/O-efficient).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.gep import GepSpec
+from ..util import near_equal_splits
+from .iterative import gep_tile_update
+from .openmp import OmpRuntime, SerialRuntime
+from .stats import KernelStats
+
+__all__ = ["RecursiveKernel", "CASE_FLAGS", "case_of"]
+
+#: case name -> (row_aliased, col_aliased)
+CASE_FLAGS: dict[str, tuple[bool, bool]] = {
+    "A": (True, True),
+    "B": (True, False),
+    "C": (False, True),
+    "D": (False, False),
+}
+
+
+def case_of(row_aliased: bool, col_aliased: bool) -> str:
+    """Inverse of :data:`CASE_FLAGS`."""
+    if row_aliased:
+        return "A" if col_aliased else "B"
+    return "C" if col_aliased else "D"
+
+
+def _splits(extent: int, r: int) -> list[int]:
+    """Boundaries of ``min(r, extent)`` near-equal contiguous parts.
+
+    Blocked GEP is correct for *any* contiguous partition of the index
+    range, so uneven splits (when ``r`` does not divide ``extent``) need
+    no virtual padding at this level.
+    """
+    return near_equal_splits(extent, r)
+
+
+class RecursiveKernel:
+    """r_shared-way R-DP kernel over a GEP spec.
+
+    Parameters
+    ----------
+    spec:
+        The GEP problem.
+    r_shared:
+        Recursive fan-out (the paper's ``r_shared``), >= 2.
+    base_size:
+        Tiles with every extent <= ``base_size`` run the iterative base
+        kernel.  This is the cache-level tuning knob; the recursion is
+        otherwise cache-oblivious.
+    runtime:
+        Simulated OpenMP runtime; defaults to serial execution.
+    """
+
+    kind = "recursive"
+
+    def __init__(
+        self,
+        spec: GepSpec,
+        r_shared: int = 2,
+        base_size: int = 64,
+        runtime: OmpRuntime | None = None,
+    ) -> None:
+        if r_shared < 2:
+            raise ValueError("r_shared must be >= 2")
+        if base_size < 1:
+            raise ValueError("base_size must be >= 1")
+        self.spec = spec
+        self.r_shared = r_shared
+        self.base_size = base_size
+        self.runtime = runtime if runtime is not None else SerialRuntime()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        case: str,
+        x: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray,
+        gi0: int,
+        gj0: int,
+        gk0: int,
+        n_global: int,
+        stats: KernelStats | None = None,
+    ) -> None:
+        """Entry point with the same contract as :class:`IterativeKernel`."""
+        if case not in CASE_FLAGS:
+            raise ValueError(f"unknown kernel case {case!r}")
+        self._rec(case, x, u, v, w, gi0, gj0, gk0, n_global, stats)
+
+    # ------------------------------------------------------------------
+    def _rec(self, case, x, u, v, w, gi0, gj0, gk0, n_global, stats) -> None:
+        # ``w is None`` is legal for case D of specs with needs_w=False
+        # (the paper's FW-APSP driver ships no pivot copy to D kernels).
+        pivot = u.shape[1] if w is None else w.shape[0]
+        if max(x.shape[0], x.shape[1], pivot) <= self.base_size:
+            gep_tile_update(
+                self.spec, x, u, v, w, gi0, gj0, gk0, n_global, stats, case
+            )
+            return
+        if stats is not None:
+            stats.record_recursion()
+        row_aliased, col_aliased = CASE_FLAGS[case]
+        r = self.r_shared
+        bk = _splits(pivot, r)
+        bi = bk if row_aliased else _splits(x.shape[0], r)
+        bj = bk if col_aliased else _splits(x.shape[1], r)
+        nk, ni, nj = len(bk) - 1, len(bi) - 1, len(bj) - 1
+
+        def xs(i, j):
+            return x[bi[i] : bi[i + 1], bj[j] : bj[j + 1]]
+
+        def us(i, k):
+            # When columns alias the pivot, c[i-range, k-range] lives in x
+            # itself (and bj == bk); otherwise it comes from the U tile.
+            src = x if col_aliased else u
+            return src[bi[i] : bi[i + 1], bk[k] : bk[k + 1]]
+
+        def vs(k, j):
+            if row_aliased:
+                return x[bk[k] : bk[k + 1], bj[j] : bj[j + 1]]
+            return v[bk[k] : bk[k + 1], bj[j] : bj[j + 1]]
+
+        def ws(k):
+            if row_aliased and col_aliased:
+                return x[bk[k] : bk[k + 1], bk[k] : bk[k + 1]]
+            if w is None:
+                return None
+            return w[bk[k] : bk[k + 1], bk[k] : bk[k + 1]]
+
+        spec = self.spec
+        for k in range(nk):
+            gk_sub = gk0 + bk[k]
+            w_sub = ws(k)
+
+            def call(sub_case, i, j):
+                self._rec(
+                    sub_case,
+                    xs(i, j),
+                    us(i, k),
+                    vs(k, j),
+                    w_sub,
+                    gi0 + bi[i],
+                    gj0 + bj[j],
+                    gk_sub,
+                    n_global,
+                    stats,
+                )
+
+            # Row/column index ranges at this sub-iteration, following Σ_G.
+            if row_aliased:
+                other_rows = (
+                    range(k + 1, ni)
+                    if spec.constrains_i
+                    else [i for i in range(ni) if i != k]
+                )
+            else:
+                other_rows = range(ni)
+            if col_aliased:
+                other_cols = (
+                    range(k + 1, nj)
+                    if spec.constrains_j
+                    else [j for j in range(nj) if j != k]
+                )
+            else:
+                other_cols = range(nj)
+
+            if row_aliased and col_aliased:
+                # Stage 1: the sub-pivot. Stage 2: B row ‖ C column.
+                # Stage 3: the trailing D sub-grid (paper Fig. 4, A_GE).
+                call("A", k, k)
+                self._par(
+                    [("B", k, j) for j in other_cols]
+                    + [("C", i, k) for i in other_rows],
+                    call,
+                    stats,
+                )
+                self._par(
+                    [("D", i, j) for i in other_rows for j in other_cols],
+                    call,
+                    stats,
+                )
+            elif row_aliased:
+                # Paper Fig. 4, B_GE: all columns get B at the sub-pivot
+                # row, then D below (Σ_G rows) across all columns.
+                self._par([("B", k, j) for j in range(nj)], call, stats)
+                self._par(
+                    [("D", i, j) for i in other_rows for j in range(nj)],
+                    call,
+                    stats,
+                )
+            elif col_aliased:
+                # Paper Fig. 4, C_GE: mirror image of B_GE.
+                self._par([("C", i, k) for i in range(ni)], call, stats)
+                self._par(
+                    [("D", i, j) for j in other_cols for i in range(ni)],
+                    call,
+                    stats,
+                )
+            else:
+                # Paper Fig. 4, D_GE: one fully parallel stage per k.
+                self._par(
+                    [("D", i, j) for i in range(ni) for j in range(nj)],
+                    call,
+                    stats,
+                )
+
+    # ------------------------------------------------------------------
+    def _par(self, items, call, stats) -> None:
+        """Issue one stage of independent sub-calls to the OpenMP runtime."""
+        if not items:
+            return
+        if stats is not None:
+            stats.record_parallel_for(len(items))
+        self.runtime.parallel_for(
+            [(lambda it=item: call(*it)) for item in items]
+        )
+
+    def describe(self) -> dict:
+        """Kernel metadata recorded into execution traces."""
+        return {
+            "kind": self.kind,
+            "r_shared": self.r_shared,
+            "base_size": self.base_size,
+            "omp_threads": self.runtime.num_threads,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RecursiveKernel(spec={self.spec.name!r}, r_shared={self.r_shared}, "
+            f"base_size={self.base_size}, threads={self.runtime.num_threads})"
+        )

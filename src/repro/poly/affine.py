@@ -1,0 +1,127 @@
+"""Minimal affine machinery for the polyhedral derivation (§IV-B).
+
+Full polyhedral compilation is out of scope offline; what the paper's
+second methodology actually needs at the *inter-tile* level is small:
+
+* affine expressions over the GEP iteration variables ``(k, i, j)``;
+* after mono-parametric tiling ``x = xb * b + xl`` (tile size ``b`` a
+  single symbolic parameter, ``0 <= xl < b``), the ability to decide —
+  *symbolically in b* — whether a constraint holds for all / some / no
+  points of a given tile.
+
+Values that are affine in the single parameter ``b`` are represented by
+:class:`AffB` (``alpha * b + beta``); tile coordinates are concrete
+integers.  This is exactly the fragment Iooss et al.'s mono-parametric
+tiling theorem guarantees stays polyhedral, restricted to what GEP
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["AffB", "LinearConstraint", "TileStatus", "VARS"]
+
+#: The GEP iteration variables, in loop-nest order.
+VARS = ("k", "i", "j")
+
+
+@dataclass(frozen=True)
+class AffB:
+    """``alpha * b + beta`` for the symbolic tile-size parameter ``b``."""
+
+    alpha: int
+    beta: int
+
+    def __add__(self, other: "AffB | int") -> "AffB":
+        if isinstance(other, int):
+            return AffB(self.alpha, self.beta + other)
+        return AffB(self.alpha + other.alpha, self.beta + other.beta)
+
+    def __sub__(self, other: "AffB | int") -> "AffB":
+        if isinstance(other, int):
+            return AffB(self.alpha, self.beta - other)
+        return AffB(self.alpha - other.alpha, self.beta - other.beta)
+
+    def scale(self, c: int) -> "AffB":
+        return AffB(self.alpha * c, self.beta * c)
+
+    def always_nonneg(self, min_b: int = 1) -> bool:
+        """``alpha*b + beta >= 0`` for every ``b >= min_b``.
+
+        Affine in ``b`` and monotone, so it suffices to check the slope
+        sign and the value at ``min_b``.
+        """
+        if self.alpha < 0:
+            return False
+        return self.alpha * min_b + self.beta >= 0
+
+    def always_negative(self, min_b: int = 1) -> bool:
+        """``alpha*b + beta < 0`` for every ``b >= min_b``."""
+        if self.alpha > 0:
+            return False
+        return self.alpha * min_b + self.beta < 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.alpha}*b{self.beta:+d}"
+
+
+class TileStatus(Enum):
+    """How a constraint relates to one tile's point set."""
+
+    FULL = "full"  # every point of the tile satisfies it
+    PARTIAL = "partial"  # some do, some don't (a boundary tile)
+    EMPTY = "empty"  # no point satisfies it
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``sum_v coeffs[v] * v + const >= 0`` over the GEP variables.
+
+    ``i > k`` is ``{"i": 1, "k": -1}, const=-1``.
+    """
+
+    coeffs: tuple[tuple[str, int], ...]
+    const: int = 0
+
+    @staticmethod
+    def greater(a: str, b: str) -> "LinearConstraint":
+        """The Σ_G building block ``a > b``."""
+        return LinearConstraint(((a, 1), (b, -1)), -1)
+
+    def tile_status(self, tile: dict[str, int]) -> TileStatus:
+        """Classify the constraint over tile ``{var: block_index}``.
+
+        Substituting ``v = tile[v] * b + vl`` with ``0 <= vl <= b - 1``,
+        the min/max of the expression over the intra-tile box are affine
+        in ``b``; their signs (for all ``b >= 1``) decide the status.
+        """
+        lo = AffB(0, self.const)
+        hi = AffB(0, self.const)
+        for var, coeff in self.coeffs:
+            block = tile[var]
+            term = AffB(coeff * block, 0)
+            lo = lo + term
+            hi = hi + term
+            # coeff * vl over vl in [0, b-1]
+            if coeff >= 0:
+                hi = hi + AffB(coeff, -coeff)
+            else:
+                lo = lo + AffB(coeff, -coeff)
+        if lo.always_nonneg():
+            return TileStatus.FULL
+        if hi.always_negative():
+            return TileStatus.EMPTY
+        return TileStatus.PARTIAL
+
+    def holds(self, point: dict[str, int]) -> bool:
+        """Evaluate the constraint on a concrete point."""
+        total = self.const
+        for var, coeff in self.coeffs:
+            total += coeff * point[var]
+        return total >= 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = " + ".join(f"{c}*{v}" for v, c in self.coeffs)
+        return f"{terms} {self.const:+d} >= 0"

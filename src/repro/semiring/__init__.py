@@ -1,0 +1,25 @@
+"""Closed semirings for GEP path problems (paper §V-A).
+
+Public surface::
+
+    from repro.semiring import MinPlus, Boolean, get_semiring
+"""
+
+from .base import Semiring, SemiringError
+from .boolean import Boolean
+from .real import CountingSemiring, RealField
+from .registry import available_semirings, get_semiring, register_semiring
+from .tropical import MaxPlus, MinPlus
+
+__all__ = [
+    "Semiring",
+    "SemiringError",
+    "MinPlus",
+    "MaxPlus",
+    "Boolean",
+    "RealField",
+    "CountingSemiring",
+    "get_semiring",
+    "register_semiring",
+    "available_semirings",
+]

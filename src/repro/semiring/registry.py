@@ -1,0 +1,43 @@
+"""Name-based registry of the semirings shipped with the library."""
+
+from __future__ import annotations
+
+from .base import Semiring, SemiringError
+from .boolean import Boolean
+from .real import CountingSemiring, RealField
+from .tropical import MaxPlus, MinPlus
+
+__all__ = ["get_semiring", "available_semirings", "register_semiring"]
+
+_REGISTRY: dict[str, Semiring] = {}
+
+
+def register_semiring(semiring: Semiring, *aliases: str) -> Semiring:
+    """Register ``semiring`` under its name plus any ``aliases``."""
+    for key in (semiring.name, *aliases):
+        _REGISTRY[key.lower()] = semiring
+    return semiring
+
+
+def get_semiring(name: str | Semiring) -> Semiring:
+    """Look up a semiring by name (or pass an instance through)."""
+    if isinstance(name, Semiring):
+        return name
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise SemiringError(
+            f"unknown semiring {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_semirings() -> list[str]:
+    """Sorted list of registered semiring names (aliases included)."""
+    return sorted(_REGISTRY)
+
+
+register_semiring(MinPlus(), "minplus", "shortest-path")
+register_semiring(MaxPlus(), "longest-path")
+register_semiring(Boolean(), "bool", "reachability")
+register_semiring(RealField(), "field")
+register_semiring(CountingSemiring(), "paths")

@@ -1,0 +1,99 @@
+"""Tropical (min,+) and (max,+) semirings.
+
+Floyd-Warshall's all-pairs shortest path computes over the closed semiring
+``(R ∪ {+inf}, min, +, +inf, 0)`` (paper §V-A).  Longest-path style
+problems on DAGs use the dual ``(R ∪ {-inf}, max, +, -inf, 0)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Semiring
+
+__all__ = ["MinPlus", "MaxPlus"]
+
+
+def _plus_with_infinities(a: np.ndarray, b: np.ndarray, annihilator: float) -> np.ndarray:
+    """``a + b`` where ``annihilator + x == annihilator`` for every x.
+
+    IEEE arithmetic already gives ``inf + finite == inf``; the only case
+    needing care is ``inf + (-inf) -> nan``, which must resolve to the
+    semiring zero (the annihilator).  We silence the invalid-op warning for
+    that deliberate case only.
+    """
+    with np.errstate(invalid="ignore"):
+        out = np.add(a, b)
+    nan_mask = np.isnan(out)
+    if np.any(nan_mask):
+        out = np.where(nan_mask, annihilator, out)
+    return out
+
+
+class MinPlus(Semiring):
+    """The tropical semiring ``(R ∪ {+inf}, min, +, +inf, 0)``."""
+
+    name = "tropical"
+
+    def __init__(self, dtype=np.float64) -> None:
+        super().__init__(dtype, np.inf, 0.0)
+
+    def add(self, a, b):
+        return np.minimum(a, b)
+
+    def add_inplace(self, out, b):
+        np.minimum(out, b, out=out)
+        return out
+
+    def mul(self, a, b):
+        return _plus_with_infinities(np.asarray(a), np.asarray(b), self.zero)
+
+    def star(self, a):
+        """``a* = min(0, a, a+a, ...)``: 0 for ``a >= 0``, ``-inf`` otherwise.
+
+        A negative scalar models a negative cycle through a vertex, whose
+        closure diverges to ``-inf``.
+        """
+        a = float(a)
+        return self.one if a >= 0 else -np.inf
+
+    def matmul(self, a, b):
+        """Min-plus product via broadcast-and-reduce (one temp per row block)."""
+        a = self.asarray(a)
+        b = self.asarray(b)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"matmul shape mismatch: {a.shape} x {b.shape}")
+        out = self.zeros((a.shape[0], b.shape[1]))
+        # Row-blocked to bound the (m, k, n) broadcast temporary.
+        row_block = max(1, int(2**20 // max(1, a.shape[1] * b.shape[1])))
+        for start in range(0, a.shape[0], row_block):
+            stop = min(start + row_block, a.shape[0])
+            sums = _plus_with_infinities(
+                a[start:stop, :, None], b[None, :, :], self.zero
+            )
+            out[start:stop] = sums.min(axis=1)
+        return out
+
+
+class MaxPlus(Semiring):
+    """The dual tropical semiring ``(R ∪ {-inf}, max, +, -inf, 0)``."""
+
+    name = "maxplus"
+
+    def __init__(self, dtype=np.float64) -> None:
+        super().__init__(dtype, -np.inf, 0.0)
+
+    def add(self, a, b):
+        return np.maximum(a, b)
+
+    def add_inplace(self, out, b):
+        np.maximum(out, b, out=out)
+        return out
+
+    def mul(self, a, b):
+        return _plus_with_infinities(np.asarray(a), np.asarray(b), self.zero)
+
+    def star(self, a):
+        """0 for ``a <= 0`` (no gain cycles), ``+inf`` otherwise."""
+        a = float(a)
+        return self.one if a <= 0 else np.inf

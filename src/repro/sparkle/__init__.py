@@ -1,0 +1,46 @@
+"""sparkle — a from-scratch, in-process reimplementation of the Apache
+Spark execution model (the paper's execution substrate).
+
+Implements the §II concepts the GEP drivers rely on: lazily evaluated
+RDDs with lineage, narrow vs wide dependencies, DAG scheduling into
+stages split at shuffles, tasks on a pool of simulated executors,
+hash/custom partitioners, shuffle with byte accounting and staging
+capacity, broadcast variables, driver ``collect()``, shared persistent
+storage for the Collect-Broadcast strategy, lineage-based task retry,
+and an execution trace for the cluster cost model.
+"""
+
+from .broadcast import Broadcast
+from .context import SparkleContext
+from .errors import (
+    JobAborted,
+    SparkleError,
+    StorageCapacityError,
+    TaskError,
+    TaskKilled,
+)
+from .metrics import EngineMetrics, JobTrace, StageRecord, TaskRecord
+from .partitioner import GridPartitioner, HashPartitioner, Partitioner, RangePartitioner
+from .rdd import RDD, Aggregator
+from .scheduler import TaskContext
+
+__all__ = [
+    "SparkleContext",
+    "RDD",
+    "Aggregator",
+    "Broadcast",
+    "Partitioner",
+    "HashPartitioner",
+    "GridPartitioner",
+    "RangePartitioner",
+    "EngineMetrics",
+    "JobTrace",
+    "StageRecord",
+    "TaskRecord",
+    "TaskContext",
+    "SparkleError",
+    "TaskError",
+    "TaskKilled",
+    "JobAborted",
+    "StorageCapacityError",
+]

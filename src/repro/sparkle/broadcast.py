@@ -1,0 +1,43 @@
+"""Broadcast variables: driver-to-all-executors distribution."""
+
+from __future__ import annotations
+
+from typing import Any, Generic, TypeVar
+
+from ..util import sizeof_block
+
+T = TypeVar("T")
+
+__all__ = ["Broadcast"]
+
+
+class Broadcast(Generic[T]):
+    """Read-only value shipped once to every executor.
+
+    In-process the value is shared by reference; the metrics charge
+    ``nbytes * num_executors`` of network traffic, which is what the cost
+    model prices.
+    """
+
+    def __init__(self, bc_id: int, value: T, num_executors: int, metrics) -> None:
+        self.id = bc_id
+        self._value = value
+        self.nbytes = sizeof_block(value)
+        self._destroyed = False
+        if metrics is not None:
+            metrics.broadcast_bytes += self.nbytes * num_executors
+            metrics.broadcast_count += 1
+
+    @property
+    def value(self) -> T:
+        if self._destroyed:
+            raise RuntimeError(f"broadcast {self.id} already destroyed")
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the broadcast (subsequent reads fail)."""
+        self._destroyed = True
+        self._value = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Broadcast(id={self.id}, nbytes={self.nbytes})"

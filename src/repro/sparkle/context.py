@@ -1,0 +1,163 @@
+"""The driver context: entry point to the sparkle engine.
+
+:class:`SparkleContext` plays the role of ``pyspark.SparkContext`` for
+the subset of the API the paper's programs use (plus a few conveniences):
+``parallelize``, ``union``, ``broadcast``, shared persistent storage for
+the Collect-Broadcast strategy, and the metrics/trace surface the cost
+model consumes.
+
+Example
+-------
+>>> from repro.sparkle import SparkleContext
+>>> with SparkleContext(num_executors=2, cores_per_executor=2) as sc:
+...     sc.parallelize(range(10)).map(lambda x: x * x).collect()[:3]
+[0, 1, 4]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..util import sizeof_block
+from .broadcast import Broadcast
+from .executors import ExecutorPool
+from .metrics import EngineMetrics
+from .rdd import RDD, ParallelCollectionRDD, UnionRDD
+from .scheduler import DAGScheduler
+from .shuffle import ShuffleManager
+from .storage import BlockManager, SharedStorage
+
+__all__ = ["SparkleContext"]
+
+
+class SparkleContext:
+    """Driver for an in-process simulated Spark cluster.
+
+    Parameters
+    ----------
+    num_executors:
+        Simulated executors (the paper runs one per compute node).
+    cores_per_executor:
+        Task slots per executor (``executor-cores``).
+    default_parallelism:
+        Default partition count for wide transformations; the paper's
+        guideline is 2x the total core count, which is also our default.
+    shuffle_capacity_bytes:
+        Optional cap on live shuffle staging (models local SSD size; see
+        :class:`~repro.sparkle.errors.StorageCapacityError`).
+    storage_capacity_bytes:
+        Optional cap on the CB shared storage.
+    cache_capacity_bytes:
+        Optional LRU bound on ``RDD.cache()`` storage (evicted blocks
+        recompute from lineage, Spark's MEMORY_ONLY semantics).
+    failure_injector:
+        ``f(stage_id, partition, attempt) -> bool``; returning True kills
+        that attempt (testing lineage recovery).
+    """
+
+    def __init__(
+        self,
+        num_executors: int = 4,
+        cores_per_executor: int = 2,
+        default_parallelism: int | None = None,
+        shuffle_capacity_bytes: int | None = None,
+        storage_capacity_bytes: int | None = None,
+        cache_capacity_bytes: int | None = None,
+        failure_injector: Callable[[int, int, int], bool] | None = None,
+        max_task_retries: int = 3,
+    ) -> None:
+        self.num_executors = num_executors
+        self.cores_per_executor = cores_per_executor
+        self.default_parallelism = (
+            default_parallelism
+            if default_parallelism is not None
+            else 2 * num_executors * cores_per_executor
+        )
+        if self.default_parallelism < 1:
+            raise ValueError("default_parallelism must be >= 1")
+        self.metrics = EngineMetrics()
+        self.failure_injector = failure_injector
+        self._shuffle_manager = ShuffleManager(shuffle_capacity_bytes)
+        self._block_manager = BlockManager(cache_capacity_bytes)
+        self.shared_storage = SharedStorage(self.metrics, storage_capacity_bytes)
+        self._executors = ExecutorPool(num_executors, cores_per_executor)
+        self._scheduler = DAGScheduler(self, max_task_retries)
+        self._next_rdd_id = 0
+        self._next_broadcast_id = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # RDD creation
+    # ------------------------------------------------------------------
+    def parallelize(self, data: Iterable, num_partitions: int | None = None) -> RDD:
+        """Distribute a driver-side collection."""
+        self._check_active()
+        n = num_partitions if num_partitions is not None else self.default_parallelism
+        return ParallelCollectionRDD(self, list(data), n)
+
+    def union(self, rdds: Sequence[RDD]) -> RDD:
+        """Union of several RDDs (``sc.union`` in the paper's listings)."""
+        self._check_active()
+        rdds = list(rdds)
+        if len(rdds) == 1:
+            return rdds[0]
+        return UnionRDD(self, rdds)
+
+    def empty_rdd(self) -> RDD:
+        return ParallelCollectionRDD(self, [], 1)
+
+    # ------------------------------------------------------------------
+    # driver services
+    # ------------------------------------------------------------------
+    def broadcast(self, value: Any) -> Broadcast:
+        self._check_active()
+        bc = Broadcast(self._next_broadcast_id, value, self.num_executors, self.metrics)
+        self._next_broadcast_id += 1
+        return bc
+
+    def run_job(self, rdd: RDD, func: Callable[[Iterator], Any], action: str) -> list:
+        self._check_active()
+        return self._scheduler.run_job(rdd, func, action)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        if not self._stopped:
+            self._executors.shutdown()
+            self._stopped = True
+
+    def __enter__(self) -> "SparkleContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _check_active(self) -> None:
+        if self._stopped:
+            raise RuntimeError("SparkleContext is stopped")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _new_rdd_id(self) -> int:
+        rid = self._next_rdd_id
+        self._next_rdd_id += 1
+        return rid
+
+    def _record_collect(self, items: list) -> None:
+        """Charge a collect's driver traffic to the current job trace."""
+        if self.metrics.jobs:
+            nbytes = sum(sizeof_block(x) for x in items)
+            self.metrics.jobs[-1].collect_bytes += nbytes
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_executors * self.cores_per_executor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparkleContext(executors={self.num_executors}, "
+            f"cores={self.cores_per_executor}, "
+            f"parallelism={self.default_parallelism})"
+        )

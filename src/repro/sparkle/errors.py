@@ -1,0 +1,47 @@
+"""Engine error types."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SparkleError",
+    "TaskError",
+    "TaskKilled",
+    "StorageCapacityError",
+    "JobAborted",
+]
+
+
+class SparkleError(RuntimeError):
+    """Base class for engine failures."""
+
+
+class TaskError(SparkleError):
+    """A task raised; carries the stage/partition it came from."""
+
+    def __init__(self, message: str, stage_id: int, partition: int) -> None:
+        super().__init__(message)
+        self.stage_id = stage_id
+        self.partition = partition
+
+
+class TaskKilled(SparkleError):
+    """Raised by the failure injector to simulate an executor fault.
+
+    The scheduler treats it as retryable: the task is recomputed from
+    lineage, which is the RDD fault-tolerance story the paper's §II
+    summarizes.
+    """
+
+
+class StorageCapacityError(SparkleError):
+    """Shuffle spill or shared-storage staging exceeded local capacity.
+
+    Models the paper's observation (§IV-C) that IM executions are
+    "constrained by the size of the underlying SSDs": wide transformations
+    stage intermediate data on local disk before shuffling, and large
+    inputs (or small inputs with many replicates) can fail outright.
+    """
+
+
+class JobAborted(SparkleError):
+    """A job failed after exhausting task retries."""

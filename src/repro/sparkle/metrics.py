@@ -1,0 +1,142 @@
+"""Execution metrics and the trace consumed by the cluster cost model.
+
+Everything the paper reasons about quantitatively — stage counts, tasks
+per stage, shuffle volume of wide transformations, collect/broadcast
+volume of the CB strategy, storage staging — is recorded here as the
+engine runs.  The cost model (:mod:`repro.cluster.costmodel`) replays a
+:class:`JobTrace` against a :class:`~repro.cluster.config.ClusterConfig`
+to produce simulated wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TaskRecord", "StageRecord", "JobTrace", "EngineMetrics"]
+
+
+@dataclass
+class TaskRecord:
+    """One task attempt (final, successful one per partition)."""
+
+    partition: int
+    executor: int
+    attempts: int = 1
+    records_out: int = 0
+    shuffle_bytes_written: int = 0
+    shuffle_bytes_read: int = 0
+    #: portion of shuffle_bytes_read fetched from a different executor
+    #: (crosses the simulated network; the partitioner-locality metric)
+    shuffle_bytes_remote: int = 0
+    kernel_updates: int = 0
+    kernel_invocations: int = 0
+    wall_seconds: float = 0.0
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class StageRecord:
+    """One executed stage (shuffle-map or result)."""
+
+    stage_id: int
+    kind: str  # "shuffle-map" | "result"
+    rdd_id: int
+    num_tasks: int
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def shuffle_bytes_written(self) -> int:
+        return sum(t.shuffle_bytes_written for t in self.tasks)
+
+    @property
+    def shuffle_bytes_read(self) -> int:
+        return sum(t.shuffle_bytes_read for t in self.tasks)
+
+    @property
+    def shuffle_bytes_remote(self) -> int:
+        return sum(t.shuffle_bytes_remote for t in self.tasks)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(t.attempts for t in self.tasks)
+
+
+@dataclass
+class JobTrace:
+    """All stages of one action, in execution order."""
+
+    job_id: int
+    action: str
+    stages: list[StageRecord] = field(default_factory=list)
+    collect_bytes: int = 0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(s.num_tasks for s in self.stages)
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return sum(s.shuffle_bytes_written for s in self.stages)
+
+    @property
+    def shuffle_bytes_remote(self) -> int:
+        return sum(s.shuffle_bytes_remote for s in self.stages)
+
+
+@dataclass
+class EngineMetrics:
+    """Context-lifetime counters plus the per-job traces."""
+
+    jobs: list[JobTrace] = field(default_factory=list)
+    broadcast_bytes: int = 0
+    broadcast_count: int = 0
+    storage_bytes_written: int = 0
+    storage_bytes_read: int = 0
+    storage_puts: int = 0
+    storage_gets: int = 0
+    tasks_retried: int = 0
+
+    def new_job(self, action: str) -> JobTrace:
+        trace = JobTrace(job_id=len(self.jobs), action=action)
+        self.jobs.append(trace)
+        return trace
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(j.shuffle_bytes for j in self.jobs)
+
+    @property
+    def total_remote_shuffle_bytes(self) -> int:
+        return sum(j.shuffle_bytes_remote for j in self.jobs)
+
+    @property
+    def total_stages(self) -> int:
+        return sum(j.num_stages for j in self.jobs)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(j.num_tasks for j in self.jobs)
+
+    @property
+    def total_collect_bytes(self) -> int:
+        return sum(j.collect_bytes for j in self.jobs)
+
+    def summary(self) -> dict[str, int]:
+        """Flat counter view used by tests and reports."""
+        return {
+            "jobs": len(self.jobs),
+            "stages": self.total_stages,
+            "tasks": self.total_tasks,
+            "shuffle_bytes": self.total_shuffle_bytes,
+            "remote_shuffle_bytes": self.total_remote_shuffle_bytes,
+            "collect_bytes": self.total_collect_bytes,
+            "broadcast_bytes": self.broadcast_bytes,
+            "storage_bytes_written": self.storage_bytes_written,
+            "storage_bytes_read": self.storage_bytes_read,
+            "tasks_retried": self.tasks_retried,
+        }

@@ -1,0 +1,249 @@
+"""DAG scheduler: jobs → stages → tasks (paper §II).
+
+An action submits the final RDD here.  The scheduler walks the lineage,
+cutting it at every :class:`~repro.sparkle.rdd.ShuffleDependency` into
+*stages* (maximal narrow-dependency pipelines), executes parent
+shuffle-map stages first, then the result stage.  Stages whose shuffle
+outputs are already materialized are skipped — Spark's stage reuse, which
+makes the iterative GEP drivers' per-iteration actions incremental
+instead of quadratic.
+
+Tasks (one per partition) run on the executor pool.  A task killed by
+the failure injector is retried up to ``max_task_retries``, recomputing
+from lineage — the RDD fault-tolerance model, exercised by the
+failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from .errors import JobAborted, TaskError, TaskKilled
+from .metrics import StageRecord, TaskRecord
+from .rdd import NarrowDependency, RDD, ShuffleDependency
+
+__all__ = ["DAGScheduler", "TaskContext", "Stage"]
+
+
+class TaskContext:
+    """Per-task accounting handle threaded through ``RDD.compute``."""
+
+    def __init__(self, stage_id: int, partition: int, attempt: int) -> None:
+        self.stage_id = stage_id
+        self.partition = partition
+        self.attempt = attempt
+        self.shuffle_bytes_read = 0
+        self.shuffle_bytes_remote = 0
+        self.records_out = 0
+        self.kernel_updates = 0
+        self.kernel_invocations = 0
+
+
+@dataclass
+class Stage:
+    """A pipeline of narrow transformations ending at ``rdd``.
+
+    ``shuffle_dep`` set ⇒ shuffle-map stage materializing that dependency;
+    unset ⇒ the job's result stage.
+    """
+
+    id: int
+    rdd: RDD
+    shuffle_dep: ShuffleDependency | None
+    parents: list["Stage"] = field(default_factory=list)
+
+    @property
+    def num_tasks(self) -> int:
+        return self.rdd.num_partitions()
+
+    @property
+    def kind(self) -> str:
+        return "shuffle-map" if self.shuffle_dep is not None else "result"
+
+
+class DAGScheduler:
+    """Builds and runs the stage graph for one context."""
+
+    def __init__(self, ctx, max_task_retries: int = 3) -> None:
+        self.ctx = ctx
+        self.max_task_retries = max_task_retries
+        self._next_stage_id = 0
+        # ShuffleDependency -> Stage, so shared parents build once.
+        self._shuffle_stages: dict[int, Stage] = {}
+
+    # ------------------------------------------------------------------
+    # stage graph construction
+    # ------------------------------------------------------------------
+    def _parent_stages(self, rdd: RDD) -> list[Stage]:
+        """Shuffle-map stages directly feeding ``rdd``'s pipeline."""
+        parents: list[Stage] = []
+        seen: set[int] = set()
+        stack = [rdd]
+        while stack:
+            node = stack.pop()
+            if node.id in seen:
+                continue
+            seen.add(node.id)
+            for dep in node.deps:
+                if isinstance(dep, ShuffleDependency):
+                    parents.append(self._shuffle_map_stage(dep))
+                elif isinstance(dep, NarrowDependency):
+                    stack.append(dep.rdd)
+        return parents
+
+    def _shuffle_map_stage(self, dep: ShuffleDependency) -> Stage:
+        stage = self._shuffle_stages.get(dep.shuffle_id)
+        if stage is None:
+            stage = Stage(self._new_stage_id(), dep.rdd, dep)
+            stage.parents = self._parent_stages(dep.rdd)
+            self._shuffle_stages[dep.shuffle_id] = stage
+        return stage
+
+    def _new_stage_id(self) -> int:
+        sid = self._next_stage_id
+        self._next_stage_id += 1
+        return sid
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+    def run_job(
+        self, rdd: RDD, func: Callable[[Iterator], Any], action: str
+    ) -> list[Any]:
+        """Execute ``func`` over every partition of ``rdd``; ordered results."""
+        result_stage = Stage(self._new_stage_id(), rdd, None)
+        result_stage.parents = self._parent_stages(rdd)
+        trace = self.ctx.metrics.new_job(action)
+
+        executed: set[int] = set()
+
+        def run_parents(stage: Stage) -> None:
+            for parent in stage.parents:
+                if parent.id in executed:
+                    continue
+                executed.add(parent.id)
+                run_parents(parent)
+                if self._shuffle_materialized(parent):
+                    continue  # stage reuse (skip)
+                self._run_shuffle_map_stage(parent, trace)
+
+        run_parents(result_stage)
+        return self._run_result_stage(result_stage, func, trace)
+
+    # ------------------------------------------------------------------
+    def _shuffle_materialized(self, stage: Stage) -> bool:
+        dep = stage.shuffle_dep
+        assert dep is not None
+        sm = self.ctx._shuffle_manager
+        return all(
+            sm.has_output(dep.shuffle_id, mp) for mp in range(stage.num_tasks)
+        )
+
+    def _run_shuffle_map_stage(self, stage: Stage, trace) -> None:
+        dep = stage.shuffle_dep
+        assert dep is not None
+        record = StageRecord(stage.id, stage.kind, stage.rdd.id, stage.num_tasks)
+
+        def make_task(partition: int) -> Callable[[], TaskRecord]:
+            def task() -> TaskRecord:
+                return self._attempt_with_retries(
+                    stage, partition, lambda tc: self._shuffle_map_task(dep, partition, tc)
+                )
+
+            return task
+
+        record.tasks = self.ctx._executors.run_tasks(
+            [make_task(p) for p in range(stage.num_tasks)]
+        )
+        trace.stages.append(record)
+
+    def _shuffle_map_task(
+        self, dep: ShuffleDependency, partition: int, tc: TaskContext
+    ) -> int:
+        """Compute the parent partition, bucket by reducer, write shuffle."""
+        agg = dep.aggregator
+        part = dep.partitioner
+        buckets: dict[int, list] = {}
+        if agg is not None and agg.map_side_combine:
+            per_bucket: dict[int, dict] = {}
+            for k, v in dep.rdd.iterator(partition, tc):
+                b = part.partition(k)
+                combiners = per_bucket.setdefault(b, {})
+                if k in combiners:
+                    combiners[k] = agg.merge_value(combiners[k], v)
+                else:
+                    combiners[k] = agg.create_combiner(v)
+                tc.records_out += 1
+            buckets = {b: list(c.items()) for b, c in per_bucket.items()}
+        else:
+            for item in dep.rdd.iterator(partition, tc):
+                k = item[0]
+                buckets.setdefault(part.partition(k), []).append(item)
+                tc.records_out += 1
+        return self.ctx._shuffle_manager.write(dep.shuffle_id, partition, buckets)
+
+    def _run_result_stage(self, stage: Stage, func, trace) -> list[Any]:
+        record = StageRecord(stage.id, stage.kind, stage.rdd.id, stage.num_tasks)
+        results: list[Any] = [None] * stage.num_tasks
+
+        def make_task(partition: int) -> Callable[[], TaskRecord]:
+            def task() -> TaskRecord:
+                def body(tc: TaskContext) -> int:
+                    results[partition] = func(stage.rdd.iterator(partition, tc))
+                    return 0
+
+                return self._attempt_with_retries(stage, partition, body)
+
+            return task
+
+        record.tasks = self.ctx._executors.run_tasks(
+            [make_task(p) for p in range(stage.num_tasks)]
+        )
+        trace.stages.append(record)
+        return results
+
+    # ------------------------------------------------------------------
+    def _attempt_with_retries(
+        self, stage: Stage, partition: int, body: Callable[[TaskContext], int]
+    ) -> TaskRecord:
+        """Run one task, retrying injected failures from lineage."""
+        injector = self.ctx.failure_injector
+        last_exc: BaseException | None = None
+        for attempt in range(1, self.max_task_retries + 2):
+            tc = TaskContext(stage.id, partition, attempt)
+            start = time.perf_counter()
+            try:
+                if injector is not None and injector(stage.id, partition, attempt):
+                    raise TaskKilled(
+                        f"injected failure: stage {stage.id} partition {partition} "
+                        f"attempt {attempt}"
+                    )
+                shuffle_written = body(tc)
+            except TaskKilled as exc:
+                last_exc = exc
+                self.ctx.metrics.tasks_retried += 1
+                continue
+            except Exception as exc:
+                raise TaskError(
+                    f"task failed in stage {stage.id}, partition {partition}: {exc}",
+                    stage.id,
+                    partition,
+                ) from exc
+            return TaskRecord(
+                partition=partition,
+                executor=self.ctx._executors.executor_for(partition),
+                attempts=attempt,
+                records_out=tc.records_out,
+                shuffle_bytes_written=shuffle_written,
+                shuffle_bytes_read=tc.shuffle_bytes_read,
+                shuffle_bytes_remote=tc.shuffle_bytes_remote,
+                kernel_updates=tc.kernel_updates,
+                kernel_invocations=tc.kernel_invocations,
+                wall_seconds=time.perf_counter() - start,
+            )
+        raise JobAborted(
+            f"stage {stage.id} partition {partition} failed after "
+            f"{self.max_task_retries + 1} attempts"
+        ) from last_exc

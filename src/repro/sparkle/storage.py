@@ -1,0 +1,148 @@
+"""Block caching and the shared persistent storage used by CB drivers.
+
+:class:`BlockManager` backs ``RDD.cache()``: computed partitions are kept
+in (driver-process) memory keyed by ``(rdd_id, partition)``.
+
+:class:`SharedStorage` models the "shared persistent storage" of the
+Collect-Broadcast strategy (paper §IV-C): the driver collects blocks and
+writes them here; executors read them back in the next stage.  Reads and
+writes are byte-accounted so the cost model can price the staging I/O
+(SSD on cluster 1, spinning disk on cluster 2 — the Fig. 8 axis).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..util import sizeof_block
+from .errors import StorageCapacityError
+
+__all__ = ["BlockManager", "SharedStorage"]
+
+
+class BlockManager:
+    """In-memory cache of computed RDD partitions (Spark's MEMORY_ONLY).
+
+    An optional byte capacity turns it into an LRU cache: when full, the
+    least-recently-used cached partition is dropped.  That is safe — a
+    dropped block is simply recomputed from lineage on next access,
+    Spark's eviction semantics — and is exercised by the engine tests.
+    """
+
+    def __init__(self, capacity_bytes: int | None = None) -> None:
+        from collections import OrderedDict
+
+        self._blocks: "OrderedDict[tuple[int, int], list]" = OrderedDict()
+        self._bytes: dict[tuple[int, int], int] = {}
+        self._lock = threading.Lock()
+        self.capacity_bytes = capacity_bytes
+        self.evictions = 0
+
+    def put(self, rdd_id: int, partition: int, items: list) -> None:
+        key = (rdd_id, partition)
+        nbytes = sum(sizeof_block(x) for x in items)
+        with self._lock:
+            if (
+                self.capacity_bytes is not None
+                and nbytes > self.capacity_bytes
+            ):
+                return  # single block larger than the cache: skip caching
+            self._blocks[key] = items
+            self._blocks.move_to_end(key)
+            self._bytes[key] = nbytes
+            if self.capacity_bytes is not None:
+                live = sum(self._bytes.values())
+                while live > self.capacity_bytes and len(self._blocks) > 1:
+                    victim, _ = self._blocks.popitem(last=False)
+                    live -= self._bytes.pop(victim)
+                    self.evictions += 1
+
+    def get(self, rdd_id: int, partition: int) -> list | None:
+        key = (rdd_id, partition)
+        with self._lock:
+            got = self._blocks.get(key)
+            if got is not None:
+                self._blocks.move_to_end(key)
+            return got
+
+    def contains(self, rdd_id: int, partition: int) -> bool:
+        with self._lock:
+            return (rdd_id, partition) in self._blocks
+
+    def evict_rdd(self, rdd_id: int) -> None:
+        with self._lock:
+            for key in [k for k in self._blocks if k[0] == rdd_id]:
+                del self._blocks[key]
+                self._bytes.pop(key, None)
+
+    @property
+    def live_bytes(self) -> int:
+        with self._lock:
+            return sum(self._bytes.values())
+
+    @property
+    def num_blocks(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+
+class SharedStorage:
+    """Driver-mediated key/value store with byte accounting.
+
+    ``capacity_bytes`` bounds the live staged volume (the auxiliary
+    storage CB trades for shuffle efficiency).
+    """
+
+    def __init__(self, metrics, capacity_bytes: int | None = None) -> None:
+        self._data: dict[Any, Any] = {}
+        self._bytes: dict[Any, int] = {}
+        self._lock = threading.Lock()
+        self._metrics = metrics
+        self.capacity_bytes = capacity_bytes
+
+    def put(self, key: Any, value: Any) -> int:
+        """Store a block; returns its byte size."""
+        nbytes = sizeof_block(value)
+        with self._lock:
+            live = sum(self._bytes.values()) - self._bytes.get(key, 0)
+            if self.capacity_bytes is not None and live + nbytes > self.capacity_bytes:
+                raise StorageCapacityError(
+                    f"shared storage put of {nbytes} B exceeds capacity "
+                    f"({live} B live of {self.capacity_bytes} B)"
+                )
+            self._data[key] = value
+            self._bytes[key] = nbytes
+            if self._metrics is not None:
+                self._metrics.storage_bytes_written += nbytes
+                self._metrics.storage_puts += 1
+        return nbytes
+
+    def get(self, key: Any) -> Any:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                raise KeyError(f"shared storage has no block {key!r}") from None
+            if self._metrics is not None:
+                self._metrics.storage_bytes_read += self._bytes[key]
+                self._metrics.storage_gets += 1
+            return value
+
+    def contains(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._bytes.clear()
+
+    @property
+    def live_bytes(self) -> int:
+        with self._lock:
+            return sum(self._bytes.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)

@@ -1,0 +1,48 @@
+"""Small shared helpers used across subpackages."""
+
+from __future__ import annotations
+
+__all__ = ["near_equal_splits", "sizeof_block"]
+
+
+def near_equal_splits(extent: int, parts: int) -> list[int]:
+    """Boundaries of ``min(parts, extent)`` near-equal contiguous ranges.
+
+    ``near_equal_splits(10, 4) == [0, 2, 5, 7, 10]``.  Every part is
+    non-empty; blocked GEP is correct for any contiguous partition, so
+    callers never need divisibility.
+    """
+    if extent < 0:
+        raise ValueError("extent must be non-negative")
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    n = min(parts, extent) if extent else 1
+    return [(extent * t) // n for t in range(n + 1)]
+
+
+def sizeof_block(value) -> int:
+    """Byte size of a payload as shipped over the simulated network.
+
+    NumPy arrays report their buffer size; containers are measured
+    recursively (the engine ships role-tagged tuples and role dicts), so
+    shuffle/collect accounting reflects the real data volume, not
+    container-header sizes.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return 8 + sum(sizeof_block(v) for v in value)
+    if isinstance(value, dict):
+        return 8 + sum(
+            sizeof_block(k) + sizeof_block(v) for k, v in value.items()
+        )
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode())
+    if isinstance(value, (int, float, complex, bool)) or value is None:
+        return 8
+    import sys
+
+    return sys.getsizeof(value)

@@ -1,0 +1,199 @@
+"""Synthetic graph workload generators.
+
+The paper evaluates FW-APSP on dense n x n weight matrices (n = 32K).  The
+generators here produce deterministic, seedable instances of the graph
+families its motivation cites: random digraphs, road-network-like grids,
+and scale-free graphs, all returned as dense weight matrices over the
+tropical semiring (``+inf`` = no edge, 0 on the diagonal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_digraph_weights",
+    "grid_road_network",
+    "scale_free_weights",
+    "layered_dag_weights",
+    "weights_to_networkx",
+    "weights_to_boolean",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_digraph_weights(
+    n: int,
+    density: float = 0.3,
+    *,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+    allow_negative: bool = False,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Erdős–Rényi style directed graph as a dense tropical weight matrix.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    density:
+        Independent probability of each directed edge (i, j), i != j.
+    weight_range:
+        Uniform edge-weight interval ``[lo, hi)``.
+    allow_negative:
+        When true, weights are shifted so some are negative while keeping
+        the graph free of negative cycles is *not* guaranteed — intended
+        for stress tests only.
+    seed:
+        Seed or generator for determinism.
+
+    Returns
+    -------
+    (n, n) float64 matrix with ``inf`` for absent edges and 0 diagonal.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must be in [0, 1]")
+    rng = _rng(seed)
+    lo, hi = weight_range
+    w = rng.uniform(lo, hi, size=(n, n))
+    if allow_negative:
+        w -= (hi - lo) * 0.25
+    mask = rng.random((n, n)) < density
+    out = np.where(mask, w, np.inf)
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def grid_road_network(
+    rows: int,
+    cols: int,
+    *,
+    diagonal_shortcuts: float = 0.05,
+    weight_range: tuple[float, float] = (1.0, 5.0),
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Road-network-like workload: a rows x cols grid with both-way streets.
+
+    Each lattice neighbour pair gets independent forward/backward weights
+    (asymmetric travel times).  A fraction of random "shortcut" edges
+    models highways.  Mirrors the transportation-research use cases the
+    paper cites for FW-APSP.
+    """
+    n = rows * cols
+    out = np.full((n, n), np.inf)
+    np.fill_diagonal(out, 0.0)
+    rng = _rng(seed)
+    lo, hi = weight_range
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            u = vid(r, c)
+            for dr, dc in ((0, 1), (1, 0)):
+                rr, cc = r + dr, c + dc
+                if rr < rows and cc < cols:
+                    v = vid(rr, cc)
+                    out[u, v] = rng.uniform(lo, hi)
+                    out[v, u] = rng.uniform(lo, hi)
+    n_shortcuts = int(diagonal_shortcuts * n)
+    if n_shortcuts:
+        us = rng.integers(0, n, size=n_shortcuts)
+        vs = rng.integers(0, n, size=n_shortcuts)
+        for u, v in zip(us, vs):
+            if u != v:
+                out[u, v] = min(out[u, v], rng.uniform(lo, hi) * 0.5)
+    return out
+
+
+def scale_free_weights(
+    n: int,
+    *,
+    attach: int = 2,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Preferential-attachment digraph (Barabási–Albert flavoured).
+
+    Each new vertex attaches ``attach`` out-edges to existing vertices
+    chosen proportionally to their current degree, then the direction of
+    each edge is randomized, producing a heavy-tailed degree distribution.
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    rng = _rng(seed)
+    out = np.full((n, n), np.inf)
+    np.fill_diagonal(out, 0.0)
+    lo, hi = weight_range
+    degree = np.ones(n)
+    for v in range(1, n):
+        k = min(attach, v)
+        probs = degree[:v] / degree[:v].sum()
+        targets = rng.choice(v, size=k, replace=False, p=probs)
+        for t in targets:
+            u, w = (v, int(t)) if rng.random() < 0.5 else (int(t), v)
+            out[u, w] = rng.uniform(lo, hi)
+            degree[v] += 1
+            degree[t] += 1
+    return out
+
+
+def layered_dag_weights(
+    layers: int,
+    width: int,
+    *,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+    density: float = 0.5,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Layered DAG (pipeline/scheduling style) weight matrix.
+
+    Edges only go from layer L to layer L+1, which makes reachability and
+    longest-path answers easy to verify independently in tests.
+    """
+    n = layers * width
+    out = np.full((n, n), np.inf)
+    np.fill_diagonal(out, 0.0)
+    rng = _rng(seed)
+    lo, hi = weight_range
+    for layer in range(layers - 1):
+        base = layer * width
+        nxt = base + width
+        mask = rng.random((width, width)) < density
+        weights = rng.uniform(lo, hi, size=(width, width))
+        block = np.where(mask, weights, np.inf)
+        out[base : base + width, nxt : nxt + width] = block
+    return out
+
+
+def weights_to_boolean(weights: np.ndarray) -> np.ndarray:
+    """Adjacency (reachability seed) matrix: finite off-diagonal entries."""
+    adj = np.isfinite(weights)
+    np.fill_diagonal(adj, True)
+    return adj
+
+
+def weights_to_networkx(weights: np.ndarray):
+    """Convert a tropical weight matrix to a ``networkx.DiGraph``.
+
+    Imported lazily so the core library does not require networkx at
+    import time.
+    """
+    import networkx as nx
+
+    n = weights.shape[0]
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    finite = np.argwhere(np.isfinite(weights))
+    for i, j in finite:
+        if i != j:
+            g.add_edge(int(i), int(j), weight=float(weights[i, j]))
+    return g

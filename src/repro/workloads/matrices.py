@@ -1,0 +1,105 @@
+"""Linear-algebra workload generators for the GE benchmark.
+
+Gaussian elimination *without pivoting* is numerically safe only for
+matrices that never produce a (near-)zero pivot; the paper (§IV, §V-A)
+uses it for "symmetric positive-definite or diagonally dominant real
+matrices", so that is what we generate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "diagonally_dominant",
+    "spd_matrix",
+    "augmented_system",
+    "random_rhs",
+]
+
+
+def _rng(seed):
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def diagonally_dominant(
+    n: int,
+    *,
+    dominance: float = 2.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Strictly row-diagonally-dominant matrix.
+
+    Off-diagonal entries are uniform in [-1, 1]; each diagonal entry is set
+    to ``dominance * (row abs-sum)`` (with sign +), which guarantees every
+    GE pivot stays bounded away from zero.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if dominance <= 1.0:
+        raise ValueError("dominance must exceed 1 for strict dominance")
+    rng = _rng(seed)
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    np.fill_diagonal(a, 0.0)
+    row_sums = np.abs(a).sum(axis=1)
+    # Guard fully-zero rows (n == 1): give them a unit pivot.
+    np.fill_diagonal(a, dominance * np.maximum(row_sums, 1.0))
+    return a
+
+
+def spd_matrix(
+    n: int,
+    *,
+    condition: float = 100.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Symmetric positive-definite matrix with controlled condition number.
+
+    Built as ``Q diag(lam) Q^T`` with log-spaced eigenvalues in
+    ``[1/condition, 1]`` and a random orthogonal ``Q``.
+    """
+    if condition < 1.0:
+        raise ValueError("condition must be >= 1")
+    rng = _rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    lam = np.logspace(-np.log10(condition), 0.0, n)
+    return (q * lam) @ q.T
+
+
+def random_rhs(
+    n: int,
+    m: int = 1,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Right-hand side matrix of shape (n, m) with entries in [-1, 1]."""
+    rng = _rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(n, m))
+
+
+def augmented_system(
+    n: int,
+    *,
+    kind: str = "diag-dominant",
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """System matrix, known solution and augmented [A | b] matrix.
+
+    Mirrors the paper's framing: a system of (n-1) equations in (n-1)
+    unknowns is held in an n x n matrix whose last column is the RHS.
+    Here we return the more conventional ``A`` (n x n), ``x_true`` (n,)
+    and the (n, n+1) augmented matrix ``[A | A @ x_true]``.
+    """
+    rng = _rng(seed)
+    if kind == "diag-dominant":
+        a = diagonally_dominant(n, seed=rng)
+    elif kind == "spd":
+        a = spd_matrix(n, seed=rng)
+    else:
+        raise ValueError(f"unknown system kind {kind!r}")
+    x_true = rng.uniform(-1.0, 1.0, size=n)
+    b = a @ x_true
+    aug = np.concatenate([a, b[:, None]], axis=1)
+    return a, x_true, aug

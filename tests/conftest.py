@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gep import (
+    FloydWarshallGep,
+    GaussianEliminationGep,
+    TransitiveClosureGep,
+)
+from repro.workloads import random_digraph_weights, weights_to_boolean
+
+
+@pytest.fixture
+def fw_spec():
+    return FloydWarshallGep()
+
+
+@pytest.fixture
+def ge_spec():
+    return GaussianEliminationGep()
+
+
+@pytest.fixture
+def tc_spec():
+    return TransitiveClosureGep()
+
+
+def fw_table(n: int, seed: int = 0, density: float = 0.35) -> np.ndarray:
+    """Random FW-APSP input table."""
+    return random_digraph_weights(n, density, seed=seed)
+
+
+def tc_table(n: int, seed: int = 0, density: float = 0.2) -> np.ndarray:
+    """Random transitive-closure input table."""
+    return weights_to_boolean(random_digraph_weights(n, density, seed=seed))
+
+
+def ge_table(n: int, seed: int = 0) -> np.ndarray:
+    """Random square GE table (diagonally dominant, no RHS column)."""
+    from repro.workloads import diagonally_dominant
+
+    return diagonally_dominant(n, seed=seed)
+
+
+def assert_tables_equal(a: np.ndarray, b: np.ndarray, **kw) -> None:
+    if a.dtype == np.bool_:
+        np.testing.assert_array_equal(a, b)
+    else:
+        np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-9, **kw)

@@ -1,0 +1,184 @@
+"""Cluster cost model: component behaviour and paper-shape invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    CostModel,
+    ExecutionPlan,
+    haswell16,
+    laptop,
+    skylake16,
+)
+from repro.core.gep import FloydWarshallGep, GaussianEliminationGep
+
+FW = FloydWarshallGep()
+GE = GaussianEliminationGep()
+N = 8192  # smaller than the paper's 32K to keep grids cheap
+
+
+class TestConfig:
+    def test_presets_describe(self):
+        assert "skylake16" in skylake16().describe()
+        assert haswell16().cores_per_node == 20
+        assert laptop().nodes == 1
+
+    def test_with_nodes(self):
+        c = skylake16().with_nodes(64)
+        assert c.nodes == 64 and c.total_cores == 64 * 32
+        assert "n64" in c.name
+
+    def test_cache_residency_rule(self):
+        sky = skylake16()
+        assert sky.iterative_tile_in_cache(512)
+        assert not sky.iterative_tile_in_cache(1024)
+        # Haswell's smaller caches: 1024 decidedly does not fit.
+        assert not haswell16().iterative_tile_in_cache(1024)
+        assert haswell16().iterative_tile_in_cache(256)
+
+
+class TestBreakdownSanity:
+    def test_components_sum_to_total(self):
+        model = CostModel(skylake16())
+        cb = model.estimate(FW, N, 16, ExecutionPlan("im", "iterative"))
+        parts = cb.compute + cb.shuffle + cb.collect + cb.storage + cb.overhead
+        assert cb.total == pytest.approx(parts)
+        assert len(cb.per_iteration) == 16
+        assert cb.detail["block"] == N // 16
+
+    def test_im_has_no_collect_or_storage(self):
+        model = CostModel(skylake16())
+        cb = model.estimate(FW, N, 8, ExecutionPlan("im", "iterative"))
+        assert cb.storage == 0.0
+        # IM still pays the final result collect.
+        assert cb.collect > 0.0
+
+    def test_cb_pays_collect_and_storage(self):
+        model = CostModel(skylake16())
+        cb = model.estimate(GE, N, 8, ExecutionPlan("cb", "iterative"))
+        assert cb.collect > 0 and cb.storage > 0
+
+    def test_unknown_kernel_rejected(self):
+        model = CostModel(skylake16())
+        with pytest.raises(ValueError):
+            model.estimate(FW, N, 8, ExecutionPlan("im", "quantum"))
+
+
+class TestComputeModel:
+    def test_more_nodes_is_faster(self):
+        small = CostModel(skylake16(nodes=4)).estimate(
+            FW, N, 16, ExecutionPlan("im", "iterative")
+        )
+        big = CostModel(skylake16(nodes=16)).estimate(
+            FW, N, 16, ExecutionPlan("im", "iterative")
+        )
+        assert big.total < small.total
+
+    def test_omp_threads_help_recursive(self):
+        model = CostModel(skylake16())
+        t1 = model.estimate(
+            GE, N, 16, ExecutionPlan("cb", "recursive", 4, 64, 1, executor_cores=8)
+        )
+        t8 = model.estimate(
+            GE, N, 16, ExecutionPlan("cb", "recursive", 4, 64, 8, executor_cores=8)
+        )
+        assert t8.total < t1.total
+
+    def test_iterative_cache_cliff(self):
+        """Iterative kernels slow down sharply past the L2 boundary,
+        recursive ones degrade gracefully (cache-oblivious)."""
+        model = CostModel(skylake16())
+        n = 16384
+        iter_512 = model.estimate(FW, n, n // 512, ExecutionPlan("im", "iterative"))
+        iter_1024 = model.estimate(FW, n, n // 1024, ExecutionPlan("im", "iterative"))
+        rec_512 = model.estimate(
+            FW, n, n // 512, ExecutionPlan("im", "recursive", 8, 64, 8, executor_cores=8)
+        )
+        rec_1024 = model.estimate(
+            FW, n, n // 1024, ExecutionPlan("im", "recursive", 8, 64, 8, executor_cores=8)
+        )
+        assert iter_1024.compute > 2 * iter_512.compute
+        assert rec_1024.compute < 2 * rec_512.compute
+
+    def test_oversubscription_grid_is_u_shaped(self):
+        """Fixing executor-cores, the time vs OMP curve falls then the
+        ec=32 row stays above the moderate-ec rows (Tables I/II shape)."""
+        model = CostModel(skylake16())
+        n = 32768  # paper geometry: r=32, block=1024 (enough tiles that
+        # executor-cores actually bounds concurrency)
+        times = {
+            (ec, omp): model.estimate(
+                GE, n, 32, ExecutionPlan("cb", "recursive", 4, 64, omp, executor_cores=ec)
+            ).total
+            for ec in (2, 8, 32)
+            for omp in (1, 8, 32)
+        }
+        assert times[(8, 8)] < times[(8, 1)]
+        assert times[(2, 1)] > times[(8, 1)]
+        assert times[(32, 32)] > times[(8, 32)]
+
+
+class TestCommunicationModel:
+    def test_ge_im_single_source_bottleneck(self):
+        """GE's pivot fan-out makes IM shuffle >> CB shuffle at small b."""
+        model = CostModel(skylake16())
+        im = model.estimate(GE, N, 32, ExecutionPlan("im", "iterative"))
+        cb = model.estimate(GE, N, 32, ExecutionPlan("cb", "iterative"))
+        assert im.shuffle > 3 * cb.shuffle
+
+    def test_hdd_cluster_pays_more_for_shuffle(self):
+        sky = CostModel(skylake16()).estimate(FW, N, 16, ExecutionPlan("im", "iterative"))
+        has = CostModel(haswell16()).estimate(FW, N, 16, ExecutionPlan("im", "iterative"))
+        assert has.shuffle > sky.shuffle
+
+    def test_cb_lineage_overhead_grows_with_r(self):
+        model = CostModel(skylake16())
+        small_r = model.estimate(GE, N, 8, ExecutionPlan("cb", "iterative"))
+        large_r = model.estimate(GE, N, 64, ExecutionPlan("cb", "iterative"))
+        assert large_r.overhead > small_r.overhead
+
+    def test_shuffle_seconds_zero_for_zero_bytes(self):
+        model = CostModel(skylake16())
+        assert model._shuffle_seconds(0, 0) == 0.0
+        assert model._collect_seconds(0) == 0.0
+
+
+class TestCalibrationQuality:
+    """The model must stay within 2x of every published cluster-1 cell."""
+
+    def test_anchor_residuals(self):
+        from repro.experiments.calibration import anchor_set, evaluate
+
+        err, rows = evaluate(skylake16(), anchor_set())
+        assert err < 0.30  # mean |log error| (x1.35)
+        for anchor, est in rows:
+            ratio = est / anchor.paper_seconds
+            assert 0.4 <= ratio <= 2.6, (anchor.name, ratio)
+
+    def test_shape_robust_to_constant_perturbation(self):
+        """The headline orderings survive 20% perturbation of the
+        calibrated constants (the claims are structural, not fitted)."""
+        base = skylake16()
+        for factor in (0.8, 1.25):
+            cfg = dataclasses.replace(
+                base,
+                update_rate_cache=base.update_rate_cache * factor,
+                update_rate_mem=base.update_rate_mem / factor,
+                task_contention=base.task_contention * factor,
+            )
+            model = CostModel(cfg)
+            n = 32768
+            best_iter = min(
+                model.estimate(FW, n, n // b, ExecutionPlan("im", "iterative")).total
+                for b in (256, 512)
+            )
+            best_rec = model.estimate(
+                FW, n, 32, ExecutionPlan("im", "recursive", 16, 64, 16, executor_cores=8)
+            ).total
+            assert best_rec < best_iter  # recursive still wins
+            # paper geometry (b=512): CB still beats IM for GE
+            ge_im = model.estimate(GE, n, n // 512, ExecutionPlan("im", "iterative")).total
+            ge_cb = model.estimate(GE, n, n // 512, ExecutionPlan("cb", "iterative")).total
+            assert ge_cb < ge_im

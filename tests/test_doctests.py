@@ -1,0 +1,24 @@
+"""Docstring examples stay executable (doctest over the public modules)."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.fwapsp
+import repro.core.gaussian
+import repro.sparkle.context
+
+MODULES = [
+    repro,
+    repro.core.fwapsp,
+    repro.core.gaussian,
+    repro.sparkle.context,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

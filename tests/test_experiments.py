@@ -1,0 +1,67 @@
+"""The §V reproductions: every table/figure experiment runs and its
+shape claims hold."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.fig7 import kernel_dependency_edges
+from repro.experiments.report import ExperimentResult, Table, fmt_seconds
+from repro.core.gep import FloydWarshallGep, GaussianEliminationGep
+
+
+class TestReportRendering:
+    def test_fmt_seconds(self):
+        assert fmt_seconds(None) == "—"
+        assert fmt_seconds(30000) == ">8h"
+        assert fmt_seconds(1500) == "1,500"
+        assert fmt_seconds(42.4) == "42"
+
+    def test_table_render(self):
+        t = Table("T", ["a", "b"], ["r1"], [[1.0, 2.0]], note="hi")
+        text = t.render()
+        assert "T" in text and "r1" in text and "note: hi" in text
+
+    def test_result_render_and_claims(self):
+        r = ExperimentResult("x", "desc")
+        r.add_claim("c", "p", "m", True)
+        assert r.all_claims_hold
+        r.add_claim("c2", "p", "m", False)
+        assert not r.all_claims_hold
+        assert "[FAIL]" in r.render()
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "fig6", "fig7", "fig8", "fig9", "headline",
+        }
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+
+class TestFig7Edges:
+    def test_edges_stable_across_grid_sizes(self):
+        for r in (2, 3, 5):
+            assert kernel_dependency_edges(GaussianEliminationGep(), r=r) == {
+                ("A", "B"), ("A", "C"), ("A", "D"), ("B", "D"), ("C", "D"),
+            }
+            assert kernel_dependency_edges(FloydWarshallGep(), r=r) == {
+                ("A", "B"), ("A", "C"), ("B", "D"), ("C", "D"),
+            }
+
+
+@pytest.mark.parametrize("name", ["table1", "table2", "fig7", "fig9"])
+def test_fast_experiments_claims_hold(name):
+    result = run_experiment(name)
+    assert result.tables, name
+    failed = [c for c, *_rest, ok in [(c, p, m, ok) for c, p, m, ok in result.claims] if not ok]
+    assert result.all_claims_hold, (name, result.claims)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["fig6", "fig8", "headline"])
+def test_slow_experiments_claims_hold(name):
+    result = run_experiment(name, fast=True)
+    assert result.all_claims_hold, (name, result.claims)

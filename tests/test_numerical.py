@@ -1,0 +1,103 @@
+"""Numerical robustness of GE without pivoting, and soak tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import numpy_gaussian_solve
+from repro.core import floyd_warshall, gaussian_solve, lu_decompose
+from repro.sparkle import SparkleContext
+from repro.workloads import diagonally_dominant, random_digraph_weights, spd_matrix
+
+
+class TestNumericalRobustness:
+    @pytest.mark.parametrize("condition", [10.0, 1e4, 1e6])
+    def test_spd_conditioning(self, condition):
+        """Error grows with condition number but stays near LAPACK's."""
+        n = 40
+        a = spd_matrix(n, condition=condition, seed=int(condition) % 97)
+        x_true = np.linspace(-1, 1, n)
+        b = a @ x_true
+        ours = gaussian_solve(a, b)
+        lapack = numpy_gaussian_solve(a, b)
+        ours_err = np.linalg.norm(ours - x_true)
+        lapack_err = np.linalg.norm(lapack - x_true) + 1e-16
+        assert ours_err <= 100 * lapack_err + 1e-10
+
+    def test_weak_dominance_still_stable(self):
+        a = diagonally_dominant(30, dominance=1.05, seed=3)
+        x_true = np.ones(30)
+        x = gaussian_solve(a, a @ x_true)
+        np.testing.assert_allclose(x, x_true, rtol=1e-6)
+
+    def test_residual_backward_stability(self):
+        """Relative residual at machine-epsilon scale for DD systems."""
+        n = 64
+        a = diagonally_dominant(n, seed=5)
+        b = np.random.default_rng(0).standard_normal(n)
+        x = gaussian_solve(a, b)
+        rel = np.linalg.norm(a @ x - b) / (
+            np.linalg.norm(a) * np.linalg.norm(x) + np.linalg.norm(b)
+        )
+        assert rel < 1e-12
+
+    def test_lu_growth_factor_bounded_for_dd(self):
+        """GE without pivoting on DD matrices has growth factor <= 2."""
+        a = diagonally_dominant(48, seed=7)
+        l, u = lu_decompose(a)
+        growth = np.abs(u).max() / np.abs(a).max()
+        assert growth <= 2.0 + 1e-9
+
+    def test_blocked_matches_unblocked_numerically(self):
+        """Blocked execution reorders float ops; drift must stay tiny."""
+        a = diagonally_dominant(50, seed=9)
+        b = np.ones(50)
+        plain = gaussian_solve(a, b, engine="reference")
+        blocked = gaussian_solve(a, b, engine="local", r=7, kernel="recursive",
+                                 r_shared=3, base_size=4)
+        np.testing.assert_allclose(blocked, plain, rtol=1e-10)
+
+    def test_fw_extreme_weights(self):
+        w = random_digraph_weights(20, 0.4, weight_range=(1e-9, 1e9), seed=11)
+        d = floyd_warshall(w)
+        assert np.isfinite(np.diag(d)).all()
+        assert (np.diag(d) == 0).all()
+
+    def test_fw_negative_edges_no_cycle(self):
+        # DAG-ish with negative edges but no cycles: FW must be exact.
+        n = 12
+        w = np.full((n, n), np.inf)
+        np.fill_diagonal(w, 0.0)
+        rng = np.random.default_rng(13)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.5:
+                    w[i, j] = rng.uniform(-5, 5)
+        from repro.baselines import scipy_shortest_paths
+
+        np.testing.assert_allclose(floyd_warshall(w), scipy_shortest_paths(w, "BF"))
+
+
+@pytest.mark.slow
+class TestSoak:
+    def test_large_distributed_fw(self):
+        n = 256
+        w = random_digraph_weights(n, 0.2, seed=21)
+        ref = floyd_warshall(w)
+        with SparkleContext(4, 4) as sc:
+            got = floyd_warshall(
+                w, engine="spark", sc=sc, r=8, kernel="recursive",
+                r_shared=4, base_size=32, omp_threads=2, strategy="im",
+            )
+        np.testing.assert_allclose(got, ref)
+
+    def test_large_distributed_ge(self):
+        n = 256
+        a = diagonally_dominant(n, seed=22)
+        x_true = np.sin(np.arange(n))
+        b = a @ x_true
+        with SparkleContext(4, 4) as sc:
+            x = gaussian_solve(
+                a, b, engine="spark", sc=sc, r=8, kernel="recursive",
+                r_shared=4, base_size=32, strategy="cb", checkpoint_every=4,
+            )
+        np.testing.assert_allclose(x, x_true, rtol=1e-7, atol=1e-9)

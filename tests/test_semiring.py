@@ -1,0 +1,217 @@
+"""Semiring axioms and array-level semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring import (
+    Boolean,
+    CountingSemiring,
+    MaxPlus,
+    MinPlus,
+    RealField,
+    SemiringError,
+    available_semirings,
+    get_semiring,
+)
+
+ALL = [MinPlus(), MaxPlus(), Boolean(), RealField(), CountingSemiring()]
+
+
+def _elements(sr, rng, shape=()):
+    if sr.name == "boolean":
+        return rng.random(shape) < 0.5
+    if sr.name == "counting":
+        return rng.integers(0, 5, size=shape).astype(np.int64)
+    vals = rng.uniform(-3, 3, size=shape)
+    if sr.name in ("tropical", "maxplus"):
+        mask = rng.random(shape) < 0.2
+        vals = np.where(mask, sr.zero, vals)
+    return vals.astype(sr.dtype)
+
+
+@pytest.mark.parametrize("sr", ALL, ids=lambda s: s.name)
+class TestAxioms:
+    def test_add_identity(self, sr):
+        rng = np.random.default_rng(0)
+        a = _elements(sr, rng, (8,))
+        z = np.full(8, sr.zero, dtype=sr.dtype)
+        np.testing.assert_array_equal(sr.add(a, z), a)
+
+    def test_mul_identity(self, sr):
+        rng = np.random.default_rng(1)
+        a = _elements(sr, rng, (8,))
+        one = np.full(8, sr.one, dtype=sr.dtype)
+        np.testing.assert_array_equal(sr.mul(a, one), a)
+
+    def test_mul_annihilator(self, sr):
+        rng = np.random.default_rng(2)
+        a = _elements(sr, rng, (8,))
+        z = np.full(8, sr.zero, dtype=sr.dtype)
+        np.testing.assert_array_equal(sr.mul(a, z), z)
+
+    def test_add_commutative_associative(self, sr):
+        rng = np.random.default_rng(3)
+        a, b, c = (_elements(sr, rng, (16,)) for _ in range(3))
+        np.testing.assert_array_equal(sr.add(a, b), sr.add(b, a))
+        np.testing.assert_array_equal(
+            sr.add(sr.add(a, b), c), sr.add(a, sr.add(b, c))
+        )
+
+    def test_distributivity(self, sr):
+        rng = np.random.default_rng(4)
+        a, b, c = (_elements(sr, rng, (16,)) for _ in range(3))
+        lhs = sr.mul(a, sr.add(b, c))
+        rhs = sr.add(sr.mul(a, b), sr.mul(a, c))
+        if sr.dtype.kind == "f":
+            np.testing.assert_allclose(lhs, rhs, rtol=1e-12)
+        else:
+            np.testing.assert_array_equal(lhs, rhs)
+
+    def test_add_inplace_matches(self, sr):
+        rng = np.random.default_rng(5)
+        a = _elements(sr, rng, (8,))
+        b = _elements(sr, rng, (8,))
+        expect = sr.add(a, b)
+        out = a.copy()
+        sr.add_inplace(out, b)
+        np.testing.assert_array_equal(out, expect)
+
+    def test_matmul_matches_generic_fold(self, sr):
+        rng = np.random.default_rng(6)
+        a = _elements(sr, rng, (5, 4))
+        b = _elements(sr, rng, (4, 6))
+        from repro.semiring.base import Semiring
+
+        generic = Semiring.matmul(sr, a, b)
+        fast = sr.matmul(a, b)
+        if sr.dtype.kind == "f":
+            np.testing.assert_allclose(fast, generic, rtol=1e-12)
+        else:
+            np.testing.assert_array_equal(fast, generic)
+
+    def test_eye_is_matmul_identity(self, sr):
+        rng = np.random.default_rng(7)
+        a = _elements(sr, rng, (5, 5))
+        e = sr.eye(5)
+        np.testing.assert_array_equal(sr.matmul(e, a), a)
+        np.testing.assert_array_equal(sr.matmul(a, e), a)
+
+    def test_matpow_repeated_squaring(self, sr):
+        rng = np.random.default_rng(8)
+        a = _elements(sr, rng, (4, 4))
+        direct = sr.eye(4)
+        for _ in range(3):
+            direct = sr.matmul(direct, a)
+        result = sr.matpow(a, 3)
+        if sr.dtype.kind == "f":
+            np.testing.assert_allclose(result, direct, rtol=1e-9)
+        else:
+            np.testing.assert_array_equal(result, direct)
+
+    def test_zeros_ones_constructors(self, sr):
+        assert sr.zeros((2, 3)).shape == (2, 3)
+        assert np.all(sr.zeros(4) == sr.zero)
+        assert np.all(sr.ones(4) == sr.one)
+
+
+class TestTropicalSpecifics:
+    def test_inf_plus_neg_inf_is_zero(self):
+        sr = MinPlus()
+        out = sr.mul(np.array([np.inf]), np.array([-np.inf]))
+        assert out[0] == np.inf  # the semiring zero annihilates
+
+    def test_maxplus_dual(self):
+        sr = MaxPlus()
+        out = sr.mul(np.array([-np.inf]), np.array([np.inf]))
+        assert out[0] == -np.inf
+
+    def test_star_minplus(self):
+        sr = MinPlus()
+        assert sr.star(2.5) == 0.0
+        assert sr.star(0.0) == 0.0
+        assert sr.star(-1.0) == -np.inf
+
+    def test_star_boolean(self):
+        assert Boolean().star(True) is True
+        assert Boolean().star(False) is True
+
+    def test_star_real_diverges(self):
+        with pytest.raises(SemiringError):
+            RealField().star(1.5)
+        assert RealField().star(0.5) == pytest.approx(2.0)
+
+    def test_star_undefined_by_default(self):
+        with pytest.raises(SemiringError):
+            CountingSemiring().star(2)
+
+    def test_minplus_matmul_is_shortest_hop(self):
+        sr = MinPlus()
+        a = np.array([[0.0, 1.0], [np.inf, 0.0]])
+        out = sr.matmul(a, a)
+        np.testing.assert_allclose(out, a)
+
+
+class TestRegistry:
+    def test_lookup_by_name_and_alias(self):
+        assert get_semiring("tropical").name == "tropical"
+        assert get_semiring("minplus").name == "tropical"
+        assert get_semiring("bool").name == "boolean"
+
+    def test_passthrough_instance(self):
+        sr = MinPlus()
+        assert get_semiring(sr) is sr
+
+    def test_unknown_raises(self):
+        with pytest.raises(SemiringError):
+            get_semiring("nope")
+
+    def test_available_contains_all(self):
+        names = available_semirings()
+        for expect in ("tropical", "boolean", "real", "counting", "maxplus"):
+            assert expect in names
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_add_reduce_minplus_is_min(values):
+    sr = MinPlus()
+    arr = np.array(values)
+    assert sr.add_reduce(arr) == pytest.approx(min(values))
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_boolean_matpow_counts_reachability(n, p):
+    rng = np.random.default_rng(n * 17 + p)
+    adj = rng.random((n, n)) < 0.4
+    sr = Boolean()
+    got = sr.matpow(adj, p)
+    # independent reference: integer matrix power > 0
+    ref = np.linalg.matrix_power(adj.astype(np.int64), p) > 0 if p else np.eye(n, dtype=bool)
+    np.testing.assert_array_equal(got, ref)
+
+
+def test_add_reduce_axis():
+    sr = MinPlus()
+    a = np.array([[3.0, 1.0], [2.0, 5.0]])
+    np.testing.assert_allclose(sr.add_reduce(a, axis=0), [2.0, 1.0])
+    np.testing.assert_allclose(sr.add_reduce(a, axis=1), [1.0, 2.0])
+
+
+def test_matmul_shape_mismatch():
+    sr = MinPlus()
+    with pytest.raises(ValueError):
+        sr.matmul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+def test_matpow_negative_raises():
+    with pytest.raises(SemiringError):
+        RealField().matpow(np.eye(2), -1)

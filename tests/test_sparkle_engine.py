@@ -1,0 +1,274 @@
+"""sparkle engine: scheduler, shuffle, metrics, failure recovery,
+broadcast, storage capacities."""
+
+import numpy as np
+import pytest
+
+from repro.sparkle import (
+    JobAborted,
+    SparkleContext,
+    StorageCapacityError,
+    TaskError,
+)
+from repro.sparkle.shuffle import ShuffleManager
+from repro.util import sizeof_block
+
+
+class TestStageStructure:
+    def test_narrow_only_job_is_one_stage(self):
+        with SparkleContext(2, 2) as sc:
+            sc.parallelize(range(8), 4).map(lambda x: x + 1).collect()
+            job = sc.metrics.jobs[-1]
+            assert job.num_stages == 1
+            assert job.stages[0].kind == "result"
+
+    def test_shuffle_splits_stages(self):
+        with SparkleContext(2, 2) as sc:
+            (
+                sc.parallelize([(i % 2, i) for i in range(8)], 4)
+                .reduceByKey(lambda a, b: a + b, 3)
+                .collect()
+            )
+            job = sc.metrics.jobs[-1]
+            assert job.num_stages == 2
+            kinds = [s.kind for s in job.stages]
+            assert kinds == ["shuffle-map", "result"]
+            assert job.stages[0].num_tasks == 4  # parent partitions
+            assert job.stages[1].num_tasks == 3  # reducer partitions
+
+    def test_chained_shuffles(self):
+        with SparkleContext(2, 2) as sc:
+            rdd = (
+                sc.parallelize([(i % 4, i) for i in range(16)], 4)
+                .reduceByKey(lambda a, b: a + b, 4)
+                .map(lambda kv: (kv[0] % 2, kv[1]))
+                .reduceByKey(lambda a, b: a + b, 2)
+            )
+            got = dict(rdd.collect())
+            assert got == {0: sum(i for i in range(16) if i % 4 in (0, 2)),
+                           1: sum(i for i in range(16) if i % 4 in (1, 3))}
+            assert sc.metrics.jobs[-1].num_stages == 3
+
+    def test_shuffle_reuse_across_jobs(self):
+        """Spark's stage skipping: a second action on the same shuffled
+        RDD must not re-run the map stage."""
+        with SparkleContext(2, 2) as sc:
+            shuffled = (
+                sc.parallelize([(i % 2, i) for i in range(8)], 4)
+                .reduceByKey(lambda a, b: a + b, 2)
+            )
+            shuffled.collect()
+            first_stages = sc.metrics.jobs[-1].num_stages
+            shuffled.count()
+            second_stages = sc.metrics.jobs[-1].num_stages
+            assert first_stages == 2
+            assert second_stages == 1  # map stage skipped
+
+    def test_shared_parent_stage_runs_once(self):
+        with SparkleContext(2, 2) as sc:
+            base = (
+                sc.parallelize([(i % 2, i) for i in range(8)], 2)
+                .reduceByKey(lambda a, b: a + b, 2)
+            )
+            merged = base.union(base.mapValues(lambda v: -v))
+            merged.collect()
+            job = sc.metrics.jobs[-1]
+            assert job.num_stages == 2  # one shared map stage + result
+
+
+class TestShuffleAccounting:
+    def test_bytes_metered(self):
+        with SparkleContext(2, 2) as sc:
+            arr = np.ones((16, 16))
+            rdd = sc.parallelize([(i, arr) for i in range(4)], 2).partitionBy(4)
+            rdd.collect()
+            expect = 4 * (16 + sizeof_block(arr))
+            assert sc.metrics.total_shuffle_bytes == expect
+
+    def test_collect_bytes_metered(self):
+        with SparkleContext(2, 2) as sc:
+            arr = np.ones(32)
+            sc.parallelize([arr, arr], 2).collect()
+            assert sc.metrics.jobs[-1].collect_bytes == 2 * arr.nbytes
+
+    def test_capacity_limit_enforced(self):
+        with SparkleContext(
+            2, 2, shuffle_capacity_bytes=100
+        ) as sc:
+            big = np.ones(1000)
+            rdd = sc.parallelize([(1, big)], 1).partitionBy(2)
+            with pytest.raises(TaskError) as err:
+                rdd.collect()
+            assert isinstance(err.value.__cause__, StorageCapacityError)
+
+    def test_manager_fetch_order_is_map_partition_order(self):
+        sm = ShuffleManager()
+        sid = sm.new_shuffle_id()
+        sm.write(sid, 1, {0: [("k", "late")]})
+        sm.write(sid, 0, {0: [("k", "early")]})
+        items, _nbytes, _remote = sm.fetch(sid, 0, 2)
+        assert [v for _k, v in items] == ["early", "late"]
+
+    def test_manager_missing_output_raises(self):
+        sm = ShuffleManager()
+        sid = sm.new_shuffle_id()
+        sm.write(sid, 0, {0: []})
+        with pytest.raises(StorageCapacityError):
+            sm.fetch(sid, 0, 2)
+
+    def test_manager_release_frees_bytes(self):
+        sm = ShuffleManager()
+        sid = sm.new_shuffle_id()
+        sm.write(sid, 0, {0: [(1, np.ones(10))]})
+        assert sm.live_bytes() > 0
+        sm.release(sid)
+        assert sm.live_bytes() == 0
+
+
+class TestFailureRecovery:
+    def test_injected_failure_recovers_via_lineage(self):
+        killed = set()
+
+        def injector(stage, part, attempt):
+            if attempt == 1 and (stage, part) not in killed:
+                killed.add((stage, part))
+                return True
+            return False
+
+        with SparkleContext(2, 2, failure_injector=injector) as sc:
+            got = dict(
+                sc.parallelize([(i % 2, i) for i in range(8)], 3)
+                .reduceByKey(lambda a, b: a + b, 2)
+                .collect()
+            )
+            assert got == {0: 0 + 2 + 4 + 6, 1: 1 + 3 + 5 + 7}
+            assert sc.metrics.tasks_retried >= 4
+
+    def test_persistent_failure_aborts(self):
+        with SparkleContext(
+            1, 1, failure_injector=lambda s, p, a: True, max_task_retries=2
+        ) as sc:
+            with pytest.raises(JobAborted):
+                sc.parallelize([1], 1).collect()
+
+    def test_user_exception_not_retried(self):
+        attempts = []
+
+        def boom(x):
+            attempts.append(x)
+            raise RuntimeError("user bug")
+
+        with SparkleContext(1, 1) as sc:
+            with pytest.raises(TaskError):
+                sc.parallelize([1], 1).map(boom).collect()
+        assert len(attempts) == 1
+
+
+class TestBroadcastAndStorage:
+    def test_broadcast_value_and_bytes(self):
+        with SparkleContext(4, 1) as sc:
+            arr = np.ones(128)
+            bc = sc.broadcast(arr)
+            out = sc.parallelize(range(4), 2).map(lambda x: bc.value.sum()).collect()
+            assert out == [128.0] * 4
+            assert sc.metrics.broadcast_bytes == arr.nbytes * 4
+
+    def test_broadcast_destroy(self):
+        with SparkleContext(2, 1) as sc:
+            bc = sc.broadcast([1, 2])
+            bc.destroy()
+            with pytest.raises(RuntimeError):
+                _ = bc.value
+
+    def test_shared_storage_roundtrip_and_accounting(self):
+        with SparkleContext(2, 1) as sc:
+            arr = np.ones((8, 8))
+            sc.shared_storage.put(("pivot", 0), arr)
+            got = sc.shared_storage.get(("pivot", 0))
+            np.testing.assert_array_equal(got, arr)
+            assert sc.metrics.storage_bytes_written == arr.nbytes
+            assert sc.metrics.storage_bytes_read == arr.nbytes
+            assert sc.shared_storage.contains(("pivot", 0))
+            assert len(sc.shared_storage) == 1
+
+    def test_shared_storage_capacity(self):
+        with SparkleContext(1, 1, storage_capacity_bytes=64) as sc:
+            with pytest.raises(StorageCapacityError):
+                sc.shared_storage.put("big", np.ones(100))
+
+    def test_shared_storage_missing_key(self):
+        with SparkleContext(1, 1) as sc:
+            with pytest.raises(KeyError):
+                sc.shared_storage.get("nope")
+
+
+class TestContextLifecycle:
+    def test_stopped_context_rejects_work(self):
+        sc = SparkleContext(1, 1)
+        sc.stop()
+        with pytest.raises(RuntimeError):
+            sc.parallelize([1])
+
+    def test_default_parallelism_rule(self):
+        with SparkleContext(4, 8) as sc:
+            assert sc.default_parallelism == 2 * 4 * 8  # paper's 2x cores
+        with SparkleContext(2, 2, default_parallelism=5) as sc:
+            assert sc.parallelize(range(20)).getNumPartitions() == 5
+
+    def test_total_cores(self):
+        with SparkleContext(3, 4) as sc:
+            assert sc.total_cores == 12
+
+    def test_metrics_summary_keys(self):
+        with SparkleContext(1, 1) as sc:
+            sc.parallelize([1], 1).collect()
+            summary = sc.metrics.summary()
+            for key in ("jobs", "stages", "tasks", "shuffle_bytes",
+                        "remote_shuffle_bytes"):
+                assert key in summary
+
+    def test_remote_shuffle_accounting(self):
+        import numpy as np
+
+        # 1 executor: everything local.  4 executors: most fetches cross.
+        def run(executors):
+            with SparkleContext(executors, 1) as sc:
+                data = [(i, np.ones(32)) for i in range(16)]
+                sc.parallelize(data, 4).partitionBy(4).collect()
+                return (
+                    sc.metrics.total_remote_shuffle_bytes,
+                    sc.metrics.total_shuffle_bytes,
+                )
+
+        remote1, total1 = run(1)
+        assert remote1 == 0 and total1 > 0
+        remote4, total4 = run(4)
+        assert 0 < remote4 <= total4
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("executors,cores", [(1, 1), (2, 2), (4, 4)])
+    def test_result_independent_of_cluster_shape(self, executors, cores):
+        def run():
+            with SparkleContext(executors, cores) as sc:
+                return (
+                    sc.parallelize([(i % 5, float(i)) for i in range(50)], 7)
+                    .reduceByKey(lambda a, b: a + b, 4)
+                    .collect()
+                )
+
+        assert sorted(run()) == sorted(
+            [(k, float(sum(i for i in range(50) if i % 5 == k))) for k in range(5)]
+        )
+
+    def test_repeated_runs_identical(self):
+        def run():
+            with SparkleContext(3, 2) as sc:
+                return (
+                    sc.parallelize([(i % 4, i) for i in range(40)], 8)
+                    .groupByKey(4)
+                    .mapValues(tuple)
+                    .collect()
+                )
+
+        assert run() == run()

@@ -1,0 +1,53 @@
+"""Shared helpers: splits and payload sizing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import near_equal_splits, sizeof_block
+
+
+class TestNearEqualSplits:
+    def test_examples(self):
+        assert near_equal_splits(10, 4) == [0, 2, 5, 7, 10]
+        assert near_equal_splits(3, 8) == [0, 1, 2, 3]
+        assert near_equal_splits(0, 3) == [0, 0]
+        assert near_equal_splits(7, 1) == [0, 7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            near_equal_splits(-1, 2)
+        with pytest.raises(ValueError):
+            near_equal_splits(4, 0)
+
+    @given(
+        extent=st.integers(min_value=1, max_value=500),
+        parts=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_partition_invariants(self, extent, parts):
+        b = near_equal_splits(extent, parts)
+        assert b[0] == 0 and b[-1] == extent
+        sizes = [hi - lo for lo, hi in zip(b, b[1:])]
+        assert all(s >= 1 for s in sizes)
+        assert max(sizes) - min(sizes) <= 1  # near-equal
+        assert len(sizes) == min(parts, extent)
+
+
+class TestSizeofBlock:
+    def test_numpy_nbytes(self):
+        assert sizeof_block(np.zeros((4, 4))) == 128
+        assert sizeof_block(np.zeros(3, dtype=bool)) == 3
+
+    def test_containers_measured_recursively(self):
+        arr = np.zeros(8)
+        assert sizeof_block(("x", arr)) == 8 + 1 + 64
+        assert sizeof_block({"u": arr, "v": arr}) == 8 + 2 * (1 + 64)
+        assert sizeof_block([arr, arr]) == 8 + 128
+
+    def test_scalars_and_strings(self):
+        assert sizeof_block(5) == 8
+        assert sizeof_block(None) == 8
+        assert sizeof_block("abc") == 3
+        assert sizeof_block(b"abcd") == 4
