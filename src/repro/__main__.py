@@ -37,7 +37,18 @@ def _load_or_generate(args) -> np.ndarray:
 
 def _cmd_solve(args) -> int:
     from repro.core import floyd_warshall, forward_eliminate, transitive_closure
-    from repro.sparkle import SparkleContext
+    from repro.sparkle import FaultPlan, SparkleContext
+
+    fault_plan = None
+    if args.chaos is not None:
+        if args.engine != "spark":
+            print("--chaos requires --engine spark", file=sys.stderr)
+            return 2
+        try:
+            fault_plan = FaultPlan.from_string(args.chaos)
+        except ValueError as exc:
+            print(f"invalid --chaos spec: {exc}", file=sys.stderr)
+            return 2
 
     table = _load_or_generate(args)
     kw = dict(
@@ -49,7 +60,7 @@ def _cmd_solve(args) -> int:
         strategy=args.strategy,
     )
     ctx = (
-        SparkleContext(args.executors, args.cores)
+        SparkleContext(args.executors, args.cores, fault_plan=fault_plan)
         if args.engine == "spark"
         else None
     )
@@ -71,6 +82,10 @@ def _cmd_solve(args) -> int:
                   f"|det|={abs(float(np.prod(np.diag(u)))):.4g}")
         if report is not None and report.engine_metrics is not None:
             print("engine:", report.engine_metrics.summary())
+            if fault_plan is not None:
+                print("chaos:", fault_plan.describe(),
+                      "| injected:", fault_plan.fired())
+                print("recovery:", report.engine_metrics.recovery_summary())
         if args.output:
             np.save(args.output, out if args.problem != "ge" else u)
             print(f"result written to {args.output}")
@@ -136,6 +151,12 @@ def main(argv: list[str] | None = None) -> int:
     solve.add_argument("--strategy", choices=("im", "cb"), default="im")
     solve.add_argument("--executors", type=int, default=4)
     solve.add_argument("--cores", type=int, default=2)
+    solve.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="seeded fault injection for the spark engine: 'seed=42' (default "
+             "fault mix) or e.g. 'seed=7,kill=0.1,lose=0.05,slow=0.1:0.02,"
+             "storage=0.05,overflow=0.02' (rates per site; slow takes "
+             "rate:delay_seconds; add parallel=1 for concurrent chaos)")
     solve.set_defaults(func=_cmd_solve)
 
     tune_p = sub.add_parser("tune", help="analytical configuration advice")

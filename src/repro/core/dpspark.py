@@ -22,7 +22,13 @@ A → (B ‖ C) → D stage pattern:
 
 Both produce bit-identical results to the single-node blocked executor
 (and hence to the scalar reference); the integration tests pin that
-down across strategies, kernels, grid shapes and partitioners.
+down across strategies, kernels, grid shapes and partitioners — and,
+via the seeded chaos harness (:mod:`repro.sparkle.chaos`), under
+injected task kills, executor loss, stragglers and transient I/O
+faults: every kernel copies its tile before updating, so retried and
+speculative attempts are pure recomputations from lineage and recovery
+can never corrupt the DP table.  A run's recovery cost is surfaced on
+:attr:`SolveReport.recovery`.
 """
 
 from __future__ import annotations
@@ -85,6 +91,19 @@ class SolveReport:
     wall_seconds: float = 0.0
     extras: dict[str, Any] = field(default_factory=dict)
 
+    @property
+    def recovery(self) -> dict[str, Any] | None:
+        """Fault-recovery counters for this run (None without an engine).
+
+        Nonzero entries quantify how much recovery work (retries,
+        lineage recomputation, speculative copies, backoff) the run
+        absorbed — the overhead the paper's §V failure reports leave
+        unmeasured.
+        """
+        if self.engine_metrics is None:
+            return None
+        return self.engine_metrics.recovery_summary()
+
     def summary(self) -> dict[str, Any]:
         out = {
             "spec": self.spec_name,
@@ -100,6 +119,8 @@ class SolveReport:
         if self.kernel_stats is not None:
             out["kernel_updates"] = self.kernel_stats.updates
             out["kernel_invocations"] = self.kernel_stats.total_invocations
+        if self.extras:
+            out["extras"] = dict(self.extras)
         return out
 
 
@@ -210,6 +231,9 @@ class GepSparkSolver:
             kernel_stats=self.stats,
             wall_seconds=time.perf_counter() - start,
         )
+        if self.sc.fault_plan is not None:
+            report.extras["chaos"] = self.sc.fault_plan.describe()
+            report.extras["faults_injected"] = self.sc.fault_plan.fired()
         return result, report
 
     # ------------------------------------------------------------------

@@ -8,16 +8,27 @@ hash/custom partitioners, shuffle with byte accounting and staging
 capacity, broadcast variables, driver ``collect()``, shared persistent
 storage for the Collect-Broadcast strategy, lineage-based task retry,
 and an execution trace for the cluster cost model.
+
+Fault tolerance is chaos-tested: :mod:`repro.sparkle.chaos` injects
+seeded task exceptions, executor loss (dropping staged shuffle outputs
+to exercise lineage recomputation), stragglers (raced by speculative
+copies), and transient storage/broadcast/staging faults; the scheduler
+recovers with deterministic backoff, map-output recomputation, and
+executor blacklisting, and every recovery event is metered.
 """
 
 from .broadcast import Broadcast
+from .chaos import FAULT_KINDS, FaultPlan, FaultSpec
 from .context import SparkleContext
 from .errors import (
+    ExecutorLost,
     JobAborted,
+    ShuffleFetchFailed,
     SparkleError,
     StorageCapacityError,
     TaskError,
     TaskKilled,
+    TransientIOError,
 )
 from .metrics import EngineMetrics, JobTrace, StageRecord, TaskRecord
 from .partitioner import GridPartitioner, HashPartitioner, Partitioner, RangePartitioner
@@ -41,6 +52,12 @@ __all__ = [
     "SparkleError",
     "TaskError",
     "TaskKilled",
+    "ExecutorLost",
+    "TransientIOError",
+    "ShuffleFetchFailed",
     "JobAborted",
     "StorageCapacityError",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_KINDS",
 ]

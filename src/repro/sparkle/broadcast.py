@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Generic, TypeVar
 
 from ..util import sizeof_block
+from .errors import TransientIOError
 
 T = TypeVar("T")
 
@@ -16,14 +17,19 @@ class Broadcast(Generic[T]):
 
     In-process the value is shared by reference; the metrics charge
     ``nbytes * num_executors`` of network traffic, which is what the cost
-    model prices.
+    model prices.  An attached
+    :class:`~repro.sparkle.chaos.FaultPlan` can flake executor-side reads
+    transiently (the scheduler retries the reading task).
     """
 
-    def __init__(self, bc_id: int, value: T, num_executors: int, metrics) -> None:
+    def __init__(
+        self, bc_id: int, value: T, num_executors: int, metrics, fault_plan=None
+    ) -> None:
         self.id = bc_id
         self._value = value
         self.nbytes = sizeof_block(value)
         self._destroyed = False
+        self.fault_plan = fault_plan
         if metrics is not None:
             metrics.broadcast_bytes += self.nbytes * num_executors
             metrics.broadcast_count += 1
@@ -32,6 +38,8 @@ class Broadcast(Generic[T]):
     def value(self) -> T:
         if self._destroyed:
             raise RuntimeError(f"broadcast {self.id} already destroyed")
+        if self.fault_plan is not None and self.fault_plan.io_fault("bcast", self.id):
+            raise TransientIOError(f"injected broadcast read failure: id={self.id}")
         return self._value
 
     def destroy(self) -> None:

@@ -1,0 +1,282 @@
+"""Seeded fault injection: the chaos plane of the sparkle engine.
+
+Real Spark clusters do not fail politely: tasks throw, executors die and
+take their materialized shuffle outputs with them (forcing lineage
+recomputation, §II), stragglers stall stages, storage reads flake, and
+shuffle staging overflows local disks (the paper's §V failure reports
+for large In-Memory configurations).  A :class:`FaultPlan` injects all
+of these *deterministically* so chaos runs are reproducible and
+assertable.
+
+Determinism contract
+--------------------
+Every injection decision is a pure function of ``(seed, kind, site)``
+hashed through BLAKE2b — no wall-clock, no shared RNG stream, no
+ordering sensitivity.  A site identifies where the decision is made
+(stage id, partition, attempt, storage key, …), so the same seed always
+faults the same sites no matter how many times the plan is consulted.
+While a plan is attached, the scheduler additionally runs each stage's
+tasks in partition order (``serialize_tasks``) so recovery *traces* —
+retry counts, recomputed partitions, blacklist events — are also
+bit-reproducible; set ``serialize_tasks=False`` to chaos-test the fully
+concurrent engine at the price of trace stability.
+
+Faults only fire on attempts ``<= max_attempt`` (default: first attempt
+only), which keeps any plan below the scheduler's abort threshold: the
+retry loop always has a clean attempt left, so lineage recovery must
+reproduce the fault-free answer — the invariant the property-based
+chaos tests pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "deterministic_fraction",
+]
+
+#: Per-task accounting handle of the attempt running in this thread (set
+#: by the scheduler); fault decisions for storage/broadcast/shuffle I/O
+#: read it to key their sites.  ``None`` means driver-side code, which
+#: is never faulted.
+CURRENT_TASK: ContextVar = ContextVar("sparkle_current_task", default=None)
+
+#: The fault taxonomy (see DESIGN.md "Fault tolerance & chaos testing"):
+#: ``kill``      task attempt dies with a retryable exception
+#: ``lose``      the task's executor is lost; its materialized shuffle
+#:               outputs are dropped so lineage recomputation is exercised
+#: ``slow``      the attempt stalls (straggler); the scheduler may launch
+#:               a speculative copy
+#: ``storage``   transient shared-storage read failure (CB staging I/O)
+#: ``bcast``     transient broadcast-variable read failure
+#: ``overflow``  transient shuffle-staging overflow on a map output write
+FAULT_KINDS = ("kill", "lose", "slow", "storage", "bcast", "overflow")
+
+#: Modest everything-on mix used by ``FaultPlan.default`` / bare
+#: ``--chaos seed=N``.
+DEFAULT_RATES = {
+    "kill": 0.05,
+    "lose": 0.03,
+    "slow": 0.05,
+    "storage": 0.03,
+    "bcast": 0.0,
+    "overflow": 0.02,
+}
+
+DEFAULT_STRAGGLER_DELAY = 0.05
+
+
+def deterministic_fraction(seed: int, kind: str, site: tuple) -> float:
+    """Pure hash of ``(seed, kind, site)`` into ``[0, 1)``.
+
+    Shared by the fault plan and the scheduler's backoff jitter so both
+    are reproducible from the one chaos seed.
+    """
+    payload = repr((int(seed), str(kind), tuple(site))).encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault kind armed at a given rate.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    rate:
+        Probability of firing per decision site, in ``[0, 1]``.
+    max_attempt:
+        Fire only on task attempts ``<= max_attempt``.  The default of 1
+        guarantees recovery (retries run fault-free); raise it past the
+        scheduler's retry budget to test :class:`~.errors.JobAborted`.
+    delay:
+        ``slow`` only — seconds the straggler stalls before computing.
+    """
+
+    kind: str
+    rate: float
+    max_attempt: int = 1
+    delay: float = DEFAULT_STRAGGLER_DELAY
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.max_attempt < 1:
+            raise ValueError("max_attempt must be >= 1")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+
+
+class FaultPlan:
+    """A seeded, composable set of armed faults.
+
+    Attach one plan to one :class:`~repro.sparkle.SparkleContext`; the
+    ledger (:meth:`fired`) accumulates over the plan's lifetime, so
+    trace-determinism comparisons should build a fresh plan per run.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        specs: Sequence[FaultSpec] = (),
+        *,
+        serialize_tasks: bool = True,
+    ) -> None:
+        self.seed = int(seed)
+        self.specs: dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.kind in self.specs:
+                raise ValueError(f"duplicate FaultSpec for kind {spec.kind!r}")
+            self.specs[spec.kind] = spec
+        self.serialize_tasks = serialize_tasks
+        self._ledger: dict[str, int] = {k: 0 for k in FAULT_KINDS}
+        self._ledger_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls, seed: int, **overrides) -> "FaultPlan":
+        """The :data:`DEFAULT_RATES` mix under ``seed``."""
+        specs = [
+            FaultSpec(kind, rate)
+            for kind, rate in DEFAULT_RATES.items()
+            if rate > 0
+        ]
+        return cls(seed, specs, **overrides)
+
+    @classmethod
+    def from_string(cls, text: str) -> "FaultPlan":
+        """Parse the CLI grammar, e.g. ``"seed=42,kill=0.1,slow=0.1:0.02"``.
+
+        ``seed=N`` is required.  Fault kinds take ``kind=rate``;
+        ``slow`` optionally takes ``rate:delay_seconds``.  ``parallel=1``
+        disables task serialization (concurrent chaos, unstable traces).
+        A bare ``seed=N`` arms the default mix.
+        """
+        seed: int | None = None
+        serialize = True
+        specs: list[FaultSpec] = []
+        for token in filter(None, (t.strip() for t in text.split(","))):
+            if "=" not in token:
+                raise ValueError(f"bad --chaos token {token!r}: expected key=value")
+            key, _, value = token.partition("=")
+            key = key.strip()
+            if key == "seed":
+                seed = int(value)
+            elif key == "parallel":
+                serialize = not bool(int(value))
+            elif key == "slow":
+                rate_text, _, delay_text = value.partition(":")
+                specs.append(
+                    FaultSpec(
+                        "slow",
+                        float(rate_text),
+                        delay=float(delay_text) if delay_text else DEFAULT_STRAGGLER_DELAY,
+                    )
+                )
+            elif key in FAULT_KINDS:
+                specs.append(FaultSpec(key, float(value)))
+            else:
+                raise ValueError(
+                    f"unknown --chaos key {key!r}; expected seed, parallel, or one of {FAULT_KINDS}"
+                )
+        if seed is None:
+            raise ValueError("--chaos requires seed=N")
+        if not specs:
+            return cls.default(seed, serialize_tasks=serialize)
+        return cls(seed, specs, serialize_tasks=serialize)
+
+    # ------------------------------------------------------------------
+    # decision sites (all pure given seed + site)
+    # ------------------------------------------------------------------
+    def _decide(self, kind: str, attempt: int, site: tuple) -> bool:
+        spec = self.specs.get(kind)
+        if spec is None or spec.rate <= 0.0 or attempt > spec.max_attempt:
+            return False
+        return deterministic_fraction(self.seed, kind, site) < spec.rate
+
+    def task_fault(self, stage_id: int, partition: int, attempt: int) -> str | None:
+        """Fault for a task attempt: ``"lose"``, ``"kill"`` or ``None``.
+
+        Executor loss takes priority over a plain kill when both fire on
+        the same site (loss subsumes the task's death).
+        """
+        site = (stage_id, partition, attempt)
+        if self._decide("lose", attempt, site):
+            self.note("lose")
+            return "lose"
+        if self._decide("kill", attempt, site):
+            self.note("kill")
+            return "kill"
+        return None
+
+    def straggler_delay(self, stage_id: int, partition: int, attempt: int) -> float:
+        """Seconds this attempt should stall (0.0 = not a straggler)."""
+        if self._decide("slow", attempt, (stage_id, partition, attempt)):
+            self.note("slow")
+            return self.specs["slow"].delay
+        return 0.0
+
+    def io_fault(self, kind: str, *key) -> bool:
+        """Transient I/O fault (``storage``/``bcast``/``overflow``).
+
+        Keyed by the current task attempt plus the resource key, so a
+        retry of the same task reads clean — transient by construction.
+        Driver-side reads (no current task) are never faulted.
+        """
+        task = CURRENT_TASK.get()
+        if task is None:
+            return False
+        site = (task.stage_id, task.partition, task.attempt) + tuple(key)
+        if self._decide(kind, task.attempt, site):
+            self.note(kind)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # ledger & display
+    # ------------------------------------------------------------------
+    def note(self, kind: str) -> None:
+        with self._ledger_lock:
+            self._ledger[kind] += 1
+
+    def fired(self) -> dict[str, int]:
+        """Injection counts by kind (deterministic under the contract)."""
+        with self._ledger_lock:
+            return dict(self._ledger)
+
+    def total_fired(self) -> int:
+        with self._ledger_lock:
+            return sum(self._ledger.values())
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for kind in FAULT_KINDS:
+            spec = self.specs.get(kind)
+            if spec is None or spec.rate <= 0:
+                continue
+            text = f"{kind}={spec.rate:g}"
+            if kind == "slow":
+                text += f":{spec.delay:g}s"
+            if spec.max_attempt != 1:
+                text += f"@<={spec.max_attempt}"
+            parts.append(text)
+        if not self.serialize_tasks:
+            parts.append("parallel")
+        return f"FaultPlan({', '.join(parts)})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -20,6 +20,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..util import sizeof_block
 from .broadcast import Broadcast
+from .chaos import FaultPlan
 from .executors import ExecutorPool
 from .metrics import EngineMetrics
 from .rdd import RDD, ParallelCollectionRDD, UnionRDD
@@ -52,7 +53,23 @@ class SparkleContext:
         recompute from lineage, Spark's MEMORY_ONLY semantics).
     failure_injector:
         ``f(stage_id, partition, attempt) -> bool``; returning True kills
-        that attempt (testing lineage recovery).
+        that attempt (testing lineage recovery).  Legacy hook — prefer
+        ``fault_plan``.
+    fault_plan:
+        A :class:`~repro.sparkle.chaos.FaultPlan` arming seeded task
+        exceptions, executor loss, stragglers, transient storage /
+        broadcast / staging faults.  While attached (and
+        ``plan.serialize_tasks``), stage tasks run in partition order so
+        recovery traces are deterministic.
+    speculation:
+        Race straggling task attempts against a speculative copy (first
+        result wins, loser cancelled).
+    blacklist_threshold:
+        Faults an executor may accumulate before being excluded from
+        placement (0 disables blacklisting).
+    backoff_base / backoff_cap / backoff_jitter:
+        Retry backoff: ``base * 2^(attempt-2)`` seconds, capped, then
+        stretched by up to ``jitter`` of itself (deterministic per site).
     """
 
     def __init__(
@@ -65,6 +82,12 @@ class SparkleContext:
         cache_capacity_bytes: int | None = None,
         failure_injector: Callable[[int, int, int], bool] | None = None,
         max_task_retries: int = 3,
+        fault_plan: FaultPlan | None = None,
+        speculation: bool = True,
+        blacklist_threshold: int = 4,
+        backoff_base: float = 0.001,
+        backoff_cap: float = 0.05,
+        backoff_jitter: float = 0.5,
     ) -> None:
         self.num_executors = num_executors
         self.cores_per_executor = cores_per_executor
@@ -77,11 +100,24 @@ class SparkleContext:
             raise ValueError("default_parallelism must be >= 1")
         self.metrics = EngineMetrics()
         self.failure_injector = failure_injector
-        self._shuffle_manager = ShuffleManager(shuffle_capacity_bytes)
+        self.fault_plan = fault_plan
+        self._shuffle_manager = ShuffleManager(
+            shuffle_capacity_bytes, fault_plan=fault_plan
+        )
         self._block_manager = BlockManager(cache_capacity_bytes)
-        self.shared_storage = SharedStorage(self.metrics, storage_capacity_bytes)
+        self.shared_storage = SharedStorage(
+            self.metrics, storage_capacity_bytes, fault_plan=fault_plan
+        )
         self._executors = ExecutorPool(num_executors, cores_per_executor)
-        self._scheduler = DAGScheduler(self, max_task_retries)
+        self._scheduler = DAGScheduler(
+            self,
+            max_task_retries,
+            speculation=speculation,
+            blacklist_threshold=blacklist_threshold,
+            backoff_base=backoff_base,
+            backoff_cap=backoff_cap,
+            backoff_jitter=backoff_jitter,
+        )
         self._next_rdd_id = 0
         self._next_broadcast_id = 0
         self._stopped = False
@@ -111,7 +147,13 @@ class SparkleContext:
     # ------------------------------------------------------------------
     def broadcast(self, value: Any) -> Broadcast:
         self._check_active()
-        bc = Broadcast(self._next_broadcast_id, value, self.num_executors, self.metrics)
+        bc = Broadcast(
+            self._next_broadcast_id,
+            value,
+            self.num_executors,
+            self.metrics,
+            fault_plan=self.fault_plan,
+        )
         self._next_broadcast_id += 1
         return bc
 

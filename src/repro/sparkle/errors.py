@@ -6,6 +6,9 @@ __all__ = [
     "SparkleError",
     "TaskError",
     "TaskKilled",
+    "ExecutorLost",
+    "TransientIOError",
+    "ShuffleFetchFailed",
     "StorageCapacityError",
     "JobAborted",
 ]
@@ -31,6 +34,43 @@ class TaskKilled(SparkleError):
     lineage, which is the RDD fault-tolerance story the paper's §II
     summarizes.
     """
+
+
+class ExecutorLost(SparkleError):
+    """An executor died mid-task, taking its shuffle outputs with it.
+
+    Retryable: the task re-runs, and any consumer that later misses the
+    dropped map outputs triggers lineage recomputation via
+    :class:`ShuffleFetchFailed`.
+    """
+
+    def __init__(self, message: str, executor: int) -> None:
+        super().__init__(message)
+        self.executor = executor
+
+
+class TransientIOError(SparkleError):
+    """A storage/broadcast read or shuffle staging write flaked.
+
+    Retryable: the fault plan keys transient faults by task attempt, so
+    the retry reads/writes clean.
+    """
+
+
+class ShuffleFetchFailed(SparkleError):
+    """A reducer found map outputs missing (dropped by executor loss).
+
+    The scheduler reacts by recomputing exactly the missing parent map
+    partitions from lineage, then retrying the fetching task — Spark's
+    ``FetchFailed`` / map-stage resubmission path.
+    """
+
+    def __init__(self, shuffle_id: int, missing: tuple[int, ...]) -> None:
+        super().__init__(
+            f"shuffle {shuffle_id} missing map output(s) {list(missing)}"
+        )
+        self.shuffle_id = shuffle_id
+        self.missing = tuple(missing)
 
 
 class StorageCapacityError(SparkleError):

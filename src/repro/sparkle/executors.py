@@ -7,13 +7,19 @@ each task is *assigned* to an executor deterministically by partition id
 so metrics and the cost model can reason about per-executor load and
 locality exactly as the paper does (one executor per compute node,
 §V-B).
+
+Fault tolerance hooks: the scheduler can *blacklist* an executor after
+repeated faults — placement then round-robins over the remaining healthy
+executors (at least one always stays healthy) — and can request
+``sequential`` stage execution, which the chaos determinism contract
+uses to keep recovery traces reproducible.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Any, Callable
 
 __all__ = ["ExecutorPool"]
@@ -30,11 +36,47 @@ class ExecutorPool:
         self.total_slots = num_executors * cores_per_executor
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        self._blacklisted: set[int] = set()
+        # Atomic snapshot read by executor_for without locking.
+        self._healthy: tuple[int, ...] = tuple(range(num_executors))
 
+    # ------------------------------------------------------------------
+    # placement & health
+    # ------------------------------------------------------------------
     def executor_for(self, partition: int) -> int:
-        """Deterministic task placement (round-robin over executors)."""
-        return partition % self.num_executors
+        """Deterministic task placement (round-robin over healthy executors)."""
+        healthy = self._healthy
+        return healthy[partition % len(healthy)]
 
+    @property
+    def healthy_executors(self) -> tuple[int, ...]:
+        return self._healthy
+
+    def is_blacklisted(self, executor: int) -> bool:
+        return executor in self._blacklisted
+
+    def blacklist(self, executor: int) -> bool:
+        """Exclude an executor from placement; True if newly blacklisted.
+
+        Refuses to blacklist the last healthy executor — the simulated
+        cluster must keep at least one node able to run tasks.
+        """
+        with self._lock:
+            if executor in self._blacklisted:
+                return False
+            if not 0 <= executor < self.num_executors:
+                raise ValueError(f"no such executor {executor}")
+            if len(self._healthy) <= 1:
+                return False
+            self._blacklisted.add(executor)
+            self._healthy = tuple(
+                e for e in range(self.num_executors) if e not in self._blacklisted
+            )
+            return True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
             if self._pool is None:
@@ -43,29 +85,41 @@ class ExecutorPool:
                 )
             return self._pool
 
-    def run_tasks(self, thunks: list[Callable[[], Any]]) -> list[Any]:
+    def run_tasks(
+        self, thunks: list[Callable[[], Any]], sequential: bool = False
+    ) -> list[Any]:
         """Run a stage's tasks; returns results in task order.
 
-        Exceptions propagate after all submitted tasks settle, so a
-        failing task cannot leave stragglers mutating shared state.
+        Exceptions propagate only after every submitted task settles
+        (finished, failed, or cancelled before starting), so a failing
+        task cannot leave stragglers mutating shared shuffle state.  On
+        the first failure, tasks that have not started yet are cancelled
+        rather than run to completion.
+
+        ``sequential`` forces in-order, one-at-a-time execution in the
+        calling thread — the chaos determinism contract (see
+        :mod:`repro.sparkle.chaos`).
         """
         if not thunks:
             return []
-        if self.total_slots == 1 or len(thunks) == 1:
+        if sequential or self.total_slots == 1 or len(thunks) == 1:
             return [t() for t in thunks]
         pool = self._ensure_pool()
         futures = [pool.submit(t) for t in thunks]
-        results: list[Any] = [None] * len(futures)
         first_error: BaseException | None = None
-        for idx, fut in enumerate(futures):
-            try:
-                results[idx] = fut.result()
-            except BaseException as exc:  # noqa: BLE001 - re-raised
-                if first_error is None:
-                    first_error = exc
+        # as_completed drains every future (cancelled ones included), so
+        # by the time we raise, nothing is still running.
+        for fut in as_completed(futures):
+            if fut.cancelled():
+                continue
+            exc = fut.exception()
+            if exc is not None and first_error is None:
+                first_error = exc
+                for other in futures:
+                    other.cancel()
         if first_error is not None:
             raise first_error
-        return results
+        return [fut.result() for fut in futures]
 
     def run_task_timed(self, thunk: Callable[[], Any]) -> tuple[Any, float]:
         """Run one task inline, returning ``(result, wall_seconds)``."""

@@ -32,6 +32,10 @@ class TaskRecord:
     kernel_updates: int = 0
     kernel_invocations: int = 0
     wall_seconds: float = 0.0
+    #: total scheduler backoff slept before the winning attempt
+    backoff_seconds: float = 0.0
+    #: True when a speculative copy beat a straggling original attempt
+    speculative_win: bool = False
     payload: dict[str, Any] = field(default_factory=dict)
 
 
@@ -60,6 +64,10 @@ class StageRecord:
     @property
     def total_attempts(self) -> int:
         return sum(t.attempts for t in self.tasks)
+
+    @property
+    def speculative_wins(self) -> int:
+        return sum(1 for t in self.tasks if t.speculative_win)
 
 
 @dataclass
@@ -99,7 +107,19 @@ class EngineMetrics:
     storage_bytes_read: int = 0
     storage_puts: int = 0
     storage_gets: int = 0
+    # ---- recovery counters (chaos / fault tolerance) ------------------
     tasks_retried: int = 0
+    #: map partitions recomputed from lineage after their shuffle outputs
+    #: were dropped by an executor loss (the §II recovery story, measured)
+    partitions_recomputed: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    stragglers_cancelled: int = 0
+    executor_loss_events: int = 0
+    transient_io_failures: int = 0
+    backoff_waits: int = 0
+    backoff_seconds_total: float = 0.0
+    blacklisted_executors: list[int] = field(default_factory=list)
 
     def new_job(self, action: str) -> JobTrace:
         trace = JobTrace(job_id=len(self.jobs), action=action)
@@ -126,9 +146,29 @@ class EngineMetrics:
     def total_collect_bytes(self) -> int:
         return sum(j.collect_bytes for j in self.jobs)
 
-    def summary(self) -> dict[str, int]:
-        """Flat counter view used by tests and reports."""
+    def recovery_summary(self) -> dict[str, Any]:
+        """Fault-recovery counters only (the chaos-test/report surface).
+
+        Quantifies recovery overhead the way the paper's §V reports
+        execution failures: how much extra work (retries, recomputed
+        lineage, speculative copies, backoff stalls) faults cost a run.
+        """
         return {
+            "tasks_retried": self.tasks_retried,
+            "partitions_recomputed": self.partitions_recomputed,
+            "speculative_launched": self.speculative_launched,
+            "speculative_wins": self.speculative_wins,
+            "stragglers_cancelled": self.stragglers_cancelled,
+            "executor_loss_events": self.executor_loss_events,
+            "transient_io_failures": self.transient_io_failures,
+            "backoff_waits": self.backoff_waits,
+            "backoff_seconds_total": round(self.backoff_seconds_total, 6),
+            "executors_blacklisted": len(self.blacklisted_executors),
+        }
+
+    def summary(self) -> dict[str, Any]:
+        """Flat counter view used by tests and reports."""
+        out = {
             "jobs": len(self.jobs),
             "stages": self.total_stages,
             "tasks": self.total_tasks,
@@ -138,5 +178,6 @@ class EngineMetrics:
             "broadcast_bytes": self.broadcast_bytes,
             "storage_bytes_written": self.storage_bytes_written,
             "storage_bytes_read": self.storage_bytes_read,
-            "tasks_retried": self.tasks_retried,
         }
+        out.update(self.recovery_summary())
+        return out

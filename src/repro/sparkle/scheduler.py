@@ -8,23 +8,50 @@ outputs are already materialized are skipped — Spark's stage reuse, which
 makes the iterative GEP drivers' per-iteration actions incremental
 instead of quadratic.
 
-Tasks (one per partition) run on the executor pool.  A task killed by
-the failure injector is retried up to ``max_task_retries``, recomputing
-from lineage — the RDD fault-tolerance model, exercised by the
-failure-injection tests.
+Tasks (one per partition) run on the executor pool.  The retry loop is
+hardened against the chaos plane (:mod:`repro.sparkle.chaos`):
+
+* retryable faults (:class:`~.errors.TaskKilled`,
+  :class:`~.errors.ExecutorLost`, :class:`~.errors.TransientIOError`)
+  recompute the task from lineage after exponential backoff with
+  deterministic jitter;
+* a :class:`~.errors.ShuffleFetchFailed` (map outputs dropped by an
+  executor loss) first recomputes exactly the missing parent map
+  partitions, then retries the fetching task — Spark's map-stage
+  resubmission;
+* straggling attempts race a speculative copy (first result wins, the
+  loser is cancelled);
+* executors accumulating faults past ``blacklist_threshold`` are
+  excluded from placement.
+
+Every recovery event is recorded on
+:class:`~repro.sparkle.metrics.EngineMetrics` so reports can price the
+overhead.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
-from .errors import JobAborted, TaskError, TaskKilled
+from .chaos import CURRENT_TASK, deterministic_fraction
+from .errors import (
+    ExecutorLost,
+    JobAborted,
+    ShuffleFetchFailed,
+    TaskError,
+    TaskKilled,
+    TransientIOError,
+)
 from .metrics import StageRecord, TaskRecord
 from .rdd import NarrowDependency, RDD, ShuffleDependency
 
 __all__ = ["DAGScheduler", "TaskContext", "Stage"]
+
+#: Failures the retry loop recovers from (vs user errors → TaskError).
+RETRYABLE = (TaskKilled, ExecutorLost, TransientIOError)
 
 
 class TaskContext:
@@ -66,12 +93,42 @@ class Stage:
 class DAGScheduler:
     """Builds and runs the stage graph for one context."""
 
-    def __init__(self, ctx, max_task_retries: int = 3) -> None:
+    def __init__(
+        self,
+        ctx,
+        max_task_retries: int = 3,
+        *,
+        speculation: bool = True,
+        blacklist_threshold: int = 4,
+        backoff_base: float = 0.001,
+        backoff_cap: float = 0.05,
+        backoff_jitter: float = 0.5,
+    ) -> None:
         self.ctx = ctx
         self.max_task_retries = max_task_retries
+        self.speculation = speculation
+        self.blacklist_threshold = blacklist_threshold
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
         self._next_stage_id = 0
-        # ShuffleDependency -> Stage, so shared parents build once.
+        # ShuffleDependency -> Stage, so shared parents build once (also
+        # the lookup for fetch-failure recomputation).
         self._shuffle_stages: dict[int, Stage] = {}
+        self._executor_faults: dict[int, int] = {}
+        self._fault_lock = threading.Lock()
+        # Task attempt ids are cumulative per (stage, partition), like
+        # Spark's monotonically increasing TaskAttemptId: a partition
+        # re-executed later (partial stage re-run, fetch-failure
+        # recomputation) continues numbering instead of restarting at 1.
+        # Attempt-keyed fault decisions therefore cannot re-fire on
+        # recovery work, which is what makes ``max_attempt=1`` plans
+        # recoverable by construction (see :mod:`repro.sparkle.chaos`).
+        self._attempt_counts: dict[tuple[int, int], int] = {}
+        self._attempt_lock = threading.Lock()
+        # Reentrant: recomputing a map partition can itself hit a missing
+        # grandparent shuffle and recurse into recovery.
+        self._recompute_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # stage graph construction
@@ -133,6 +190,11 @@ class DAGScheduler:
         return self._run_result_stage(result_stage, func, trace)
 
     # ------------------------------------------------------------------
+    def _run_tasks(self, thunks: list[Callable[[], Any]]) -> list[Any]:
+        plan = self.ctx.fault_plan
+        sequential = plan is not None and plan.serialize_tasks
+        return self.ctx._executors.run_tasks(thunks, sequential=sequential)
+
     def _shuffle_materialized(self, stage: Stage) -> bool:
         dep = stage.shuffle_dep
         assert dep is not None
@@ -145,6 +207,15 @@ class DAGScheduler:
         dep = stage.shuffle_dep
         assert dep is not None
         record = StageRecord(stage.id, stage.kind, stage.rdd.id, stage.num_tasks)
+        sm = self.ctx._shuffle_manager
+
+        # Partial re-execution: a partially materialized stage means an
+        # executor loss dropped some of its outputs — recompute only those.
+        pending = [
+            p for p in range(stage.num_tasks) if not sm.has_output(dep.shuffle_id, p)
+        ]
+        if 0 < len(pending) < stage.num_tasks:
+            self.ctx.metrics.partitions_recomputed += len(pending)
 
         def make_task(partition: int) -> Callable[[], TaskRecord]:
             def task() -> TaskRecord:
@@ -154,9 +225,7 @@ class DAGScheduler:
 
             return task
 
-        record.tasks = self.ctx._executors.run_tasks(
-            [make_task(p) for p in range(stage.num_tasks)]
-        )
+        record.tasks = self._run_tasks([make_task(p) for p in pending])
         trace.stages.append(record)
 
     def _shuffle_map_task(
@@ -198,32 +267,82 @@ class DAGScheduler:
 
             return task
 
-        record.tasks = self.ctx._executors.run_tasks(
-            [make_task(p) for p in range(stage.num_tasks)]
-        )
+        record.tasks = self._run_tasks([make_task(p) for p in range(stage.num_tasks)])
         trace.stages.append(record)
         return results
 
     # ------------------------------------------------------------------
+    # retry loop & recovery
+    # ------------------------------------------------------------------
+    def backoff_delay(self, stage_id: int, partition: int, attempt: int) -> float:
+        """Pause before retry ``attempt`` (>= 2): capped exponential with
+        deterministic jitter derived from the chaos seed.
+
+        ``base * 2^(attempt-2)``, capped at ``backoff_cap``, stretched by
+        up to ``backoff_jitter`` of itself — same site, same seed, same
+        delay, which the recovery tests pin down.
+        """
+        if self.backoff_base <= 0:
+            return 0.0
+        raw = self.backoff_base * (2 ** (attempt - 2))
+        capped = min(raw, self.backoff_cap)
+        plan = self.ctx.fault_plan
+        seed = plan.seed if plan is not None else 0
+        frac = deterministic_fraction(seed, "backoff", (stage_id, partition, attempt))
+        return capped * (1.0 + self.backoff_jitter * frac)
+
+    def _next_attempt(self, stage_id: int, partition: int) -> int:
+        with self._attempt_lock:
+            n = self._attempt_counts.get((stage_id, partition), 0) + 1
+            self._attempt_counts[(stage_id, partition)] = n
+            return n
+
     def _attempt_with_retries(
         self, stage: Stage, partition: int, body: Callable[[TaskContext], int]
     ) -> TaskRecord:
-        """Run one task, retrying injected failures from lineage."""
-        injector = self.ctx.failure_injector
+        """Run one task, retrying injected/transient failures from lineage."""
+        ctx = self.ctx
+        metrics = ctx.metrics
+        injector = ctx.failure_injector
         last_exc: BaseException | None = None
-        for attempt in range(1, self.max_task_retries + 2):
+        backoff_total = 0.0
+        for local_attempt in range(1, self.max_task_retries + 2):
+            attempt = self._next_attempt(stage.id, partition)
+            if local_attempt > 1:
+                pause = self.backoff_delay(stage.id, partition, attempt)
+                if pause > 0:
+                    metrics.backoff_waits += 1
+                    metrics.backoff_seconds_total += pause
+                    backoff_total += pause
+                    time.sleep(pause)
             tc = TaskContext(stage.id, partition, attempt)
             start = time.perf_counter()
+            token = CURRENT_TASK.set(tc)
             try:
                 if injector is not None and injector(stage.id, partition, attempt):
                     raise TaskKilled(
                         f"injected failure: stage {stage.id} partition {partition} "
                         f"attempt {attempt}"
                     )
-                shuffle_written = body(tc)
-            except TaskKilled as exc:
+                shuffle_written, speculative_win = self._run_attempt(
+                    stage, partition, attempt, tc, body
+                )
+            except ShuffleFetchFailed as exc:
                 last_exc = exc
-                self.ctx.metrics.tasks_retried += 1
+                metrics.tasks_retried += 1
+                self._recompute_missing(exc)
+                continue
+            except RETRYABLE as exc:
+                last_exc = exc
+                metrics.tasks_retried += 1
+                if isinstance(exc, TransientIOError):
+                    metrics.transient_io_failures += 1
+                faulty = (
+                    exc.executor
+                    if isinstance(exc, ExecutorLost)
+                    else ctx._executors.executor_for(partition)
+                )
+                self._count_executor_fault(faulty)
                 continue
             except Exception as exc:
                 raise TaskError(
@@ -231,9 +350,11 @@ class DAGScheduler:
                     stage.id,
                     partition,
                 ) from exc
+            finally:
+                CURRENT_TASK.reset(token)
             return TaskRecord(
                 partition=partition,
-                executor=self.ctx._executors.executor_for(partition),
+                executor=ctx._executors.executor_for(partition),
                 attempts=attempt,
                 records_out=tc.records_out,
                 shuffle_bytes_written=shuffle_written,
@@ -242,8 +363,134 @@ class DAGScheduler:
                 kernel_updates=tc.kernel_updates,
                 kernel_invocations=tc.kernel_invocations,
                 wall_seconds=time.perf_counter() - start,
+                backoff_seconds=backoff_total,
+                speculative_win=speculative_win,
             )
         raise JobAborted(
             f"stage {stage.id} partition {partition} failed after "
             f"{self.max_task_retries + 1} attempts"
         ) from last_exc
+
+    def _run_attempt(
+        self,
+        stage: Stage,
+        partition: int,
+        attempt: int,
+        tc: TaskContext,
+        body: Callable[[TaskContext], int],
+    ) -> tuple[int, bool]:
+        """One attempt, with plan-injected task faults and speculation."""
+        plan = self.ctx.fault_plan
+        if plan is not None:
+            fault = plan.task_fault(stage.id, partition, attempt)
+            if fault == "lose":
+                executor = self._lose_executor(partition)
+                raise ExecutorLost(
+                    f"injected executor loss: executor {executor} died running "
+                    f"stage {stage.id} partition {partition} attempt {attempt}",
+                    executor,
+                )
+            if fault == "kill":
+                raise TaskKilled(
+                    f"injected task exception: stage {stage.id} "
+                    f"partition {partition} attempt {attempt}"
+                )
+            delay = plan.straggler_delay(stage.id, partition, attempt)
+            if delay > 0.0:
+                if self.speculation:
+                    return self._run_speculative(stage, partition, attempt, tc, body, delay)
+                time.sleep(delay)
+        return body(tc), False
+
+    def _run_speculative(
+        self,
+        stage: Stage,
+        partition: int,
+        attempt: int,
+        tc: TaskContext,
+        body: Callable[[TaskContext], int],
+        delay: float,
+    ) -> tuple[int, bool]:
+        """Race a straggling attempt against a speculative copy.
+
+        The original stalls for ``delay`` seconds (the injected
+        straggle); the speculative copy starts immediately.  First result
+        wins and the loser is cancelled — a straggler still inside its
+        stall never computes, so it cannot mutate shared state after
+        losing.  Both copies are pure recomputations from lineage, so if
+        both do finish the results are identical and either is safe.
+        """
+        metrics = self.ctx.metrics
+        cancel = threading.Event()
+        original: dict[str, int] = {}
+
+        def straggler() -> None:
+            if cancel.wait(delay):
+                return  # cancelled while stalled: the speculative copy won
+            straggler_tc = TaskContext(stage.id, partition, attempt)
+            token = CURRENT_TASK.set(straggler_tc)
+            try:
+                original["written"] = body(straggler_tc)
+            except BaseException:  # noqa: BLE001 - loser's failure is moot
+                pass
+            finally:
+                CURRENT_TASK.reset(token)
+
+        thread = threading.Thread(
+            target=straggler,
+            name=f"straggler-s{stage.id}p{partition}",
+            daemon=True,
+        )
+        metrics.speculative_launched += 1
+        thread.start()
+        try:
+            written = body(tc)  # the speculative copy, at full speed
+        finally:
+            cancel.set()
+            thread.join()
+        if "written" in original:
+            # The straggler finished despite the stall — it wins the race.
+            return original["written"], False
+        metrics.speculative_wins += 1
+        metrics.stragglers_cancelled += 1
+        return written, True
+
+    def _lose_executor(self, partition: int) -> int:
+        """Kill the executor owning ``partition``; drop its shuffle outputs."""
+        pool = self.ctx._executors
+        executor = pool.executor_for(partition)
+        self.ctx._shuffle_manager.drop_executor_outputs(
+            lambda mp: pool.executor_for(mp) == executor
+        )
+        self.ctx.metrics.executor_loss_events += 1
+        return executor
+
+    def _recompute_missing(self, exc: ShuffleFetchFailed) -> None:
+        """Recompute dropped map outputs from lineage, then let the
+        fetching task retry (Spark's map-stage resubmission)."""
+        sm = self.ctx._shuffle_manager
+        stage = self._shuffle_stages.get(exc.shuffle_id)
+        if stage is None or stage.shuffle_dep is None:
+            raise exc  # unknown shuffle: a genuine scheduler bug
+        dep = stage.shuffle_dep
+        with self._recompute_lock:
+            missing = [
+                mp for mp in exc.missing if not sm.has_output(exc.shuffle_id, mp)
+            ]
+            for mp in missing:
+                self._attempt_with_retries(
+                    stage, mp, lambda tc, _mp=mp: self._shuffle_map_task(dep, _mp, tc)
+                )
+                self.ctx.metrics.partitions_recomputed += 1
+
+    def _count_executor_fault(self, executor: int) -> None:
+        """Per-executor failure accounting; blacklist past the threshold."""
+        with self._fault_lock:
+            count = self._executor_faults.get(executor, 0) + 1
+            self._executor_faults[executor] = count
+        if (
+            self.blacklist_threshold > 0
+            and count >= self.blacklist_threshold
+            and self.ctx._executors.blacklist(executor)
+        ):
+            self.ctx.metrics.blacklisted_executors.append(executor)

@@ -10,15 +10,24 @@ Byte accounting is exact (NumPy payloads report ``nbytes``), and an
 optional per-context capacity models the SSD-size failure mode: exceeding
 it raises :class:`~repro.sparkle.errors.StorageCapacityError`, mirroring
 the execution failures the paper reports for large IM configurations.
+
+Fault tolerance: a reducer that finds map outputs missing raises
+:class:`~repro.sparkle.errors.ShuffleFetchFailed` naming exactly the
+missing partitions, and the scheduler recomputes them from lineage —
+outputs go missing when the chaos plane kills an executor and
+:meth:`ShuffleManager.drop_executor_outputs` discards everything that
+executor had staged.  An attached
+:class:`~repro.sparkle.chaos.FaultPlan` can also flake individual map
+writes (transient staging overflow, retried with backoff).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterable
+from typing import Any, Callable
 
 from ..util import sizeof_block
-from .errors import StorageCapacityError
+from .errors import ShuffleFetchFailed, StorageCapacityError, TransientIOError
 
 __all__ = ["ShuffleManager"]
 
@@ -31,11 +40,13 @@ def _pair_size(item: tuple[Any, Any]) -> int:
 class ShuffleManager:
     """In-memory shuffle store with byte accounting and spill capacity."""
 
-    def __init__(self, capacity_bytes: int | None = None) -> None:
+    def __init__(self, capacity_bytes: int | None = None, fault_plan=None) -> None:
         self.capacity_bytes = capacity_bytes
+        self.fault_plan = fault_plan
         self._lock = threading.Lock()
         # (shuffle_id, map_partition) -> {reduce_partition: [items]}
         self._outputs: dict[tuple[int, int], dict[int, list]] = {}
+        self._output_bytes: dict[tuple[int, int], int] = {}
         self._bytes_by_shuffle: dict[int, int] = {}
         self._next_shuffle_id = 0
         self.total_bytes_written = 0
@@ -61,18 +72,30 @@ class ShuffleManager:
         buckets: dict[int, list],
     ) -> int:
         """Store one map task's buckets; returns bytes written."""
+        if self.fault_plan is not None and self.fault_plan.io_fault(
+            "overflow", shuffle_id, map_partition
+        ):
+            raise TransientIOError(
+                f"injected staging overflow: shuffle {shuffle_id} "
+                f"map partition {map_partition}"
+            )
         nbytes = sum(_pair_size(item) for items in buckets.values() for item in items)
+        key = (shuffle_id, map_partition)
         with self._lock:
             if self.capacity_bytes is not None:
-                live = sum(self._bytes_by_shuffle.values())
+                live = sum(self._bytes_by_shuffle.values()) - self._output_bytes.get(key, 0)
                 if live + nbytes > self.capacity_bytes:
                     raise StorageCapacityError(
                         f"shuffle spill of {nbytes} B exceeds local staging "
                         f"capacity ({live} B live of {self.capacity_bytes} B)"
                     )
-            self._outputs[(shuffle_id, map_partition)] = buckets
+            # Idempotent overwrite: retried/speculative map tasks re-stage
+            # the same output.
+            stale = self._output_bytes.pop(key, 0)
+            self._outputs[key] = buckets
+            self._output_bytes[key] = nbytes
             self._bytes_by_shuffle[shuffle_id] = (
-                self._bytes_by_shuffle.get(shuffle_id, 0) + nbytes
+                self._bytes_by_shuffle.get(shuffle_id, 0) - stale + nbytes
             )
             self.total_bytes_written += nbytes
         return nbytes
@@ -90,19 +113,22 @@ class ShuffleManager:
         remote portion counts map outputs whose producing partition the
         ``remote_map_partition(map_pid)`` predicate marks as living on a
         different executor than the requester (``None`` = count nothing
-        as remote).  Missing map outputs indicate a scheduler bug and
-        raise.
+        as remote).  Missing map outputs raise
+        :class:`~repro.sparkle.errors.ShuffleFetchFailed` so the
+        scheduler can recompute them from lineage.
         """
         items: list = []
         remote = 0
         with self._lock:
+            missing = tuple(
+                mp
+                for mp in range(num_map_partitions)
+                if (shuffle_id, mp) not in self._outputs
+            )
+            if missing:
+                raise ShuffleFetchFailed(shuffle_id, missing)
             for mp in range(num_map_partitions):
-                try:
-                    buckets = self._outputs[(shuffle_id, mp)]
-                except KeyError:
-                    raise StorageCapacityError(
-                        f"shuffle {shuffle_id} missing map output {mp}"
-                    ) from None
+                buckets = self._outputs[(shuffle_id, mp)]
                 chunk = buckets.get(reduce_partition, ())
                 items.extend(chunk)
                 if remote_map_partition is not None and remote_map_partition(mp):
@@ -117,7 +143,28 @@ class ShuffleManager:
         with self._lock:
             for key in [k for k in self._outputs if k[0] == shuffle_id]:
                 del self._outputs[key]
+                self._output_bytes.pop(key, None)
             self._bytes_by_shuffle.pop(shuffle_id, None)
+
+    def drop_executor_outputs(
+        self, owns_map_partition: Callable[[int], bool]
+    ) -> list[tuple[int, int]]:
+        """Discard every staged output owned by a lost executor.
+
+        ``owns_map_partition(map_pid)`` is the placement predicate (the
+        pool's ``executor_for``).  Returns the dropped
+        ``(shuffle_id, map_partition)`` keys; consumers of those outputs
+        will hit :class:`~repro.sparkle.errors.ShuffleFetchFailed` and
+        force lineage recomputation.
+        """
+        with self._lock:
+            victims = [k for k in self._outputs if owns_map_partition(k[1])]
+            for key in victims:
+                del self._outputs[key]
+                nbytes = self._output_bytes.pop(key, 0)
+                if key[0] in self._bytes_by_shuffle:
+                    self._bytes_by_shuffle[key[0]] -= nbytes
+            return victims
 
     def has_output(self, shuffle_id: int, map_partition: int) -> bool:
         with self._lock:

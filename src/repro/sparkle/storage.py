@@ -16,7 +16,7 @@ import threading
 from typing import Any
 
 from ..util import sizeof_block
-from .errors import StorageCapacityError
+from .errors import StorageCapacityError, TransientIOError
 
 __all__ = ["BlockManager", "SharedStorage"]
 
@@ -91,15 +91,21 @@ class SharedStorage:
     """Driver-mediated key/value store with byte accounting.
 
     ``capacity_bytes`` bounds the live staged volume (the auxiliary
-    storage CB trades for shuffle efficiency).
+    storage CB trades for shuffle efficiency).  An attached
+    :class:`~repro.sparkle.chaos.FaultPlan` can flake executor-side reads
+    transiently (:class:`~repro.sparkle.errors.TransientIOError`, retried
+    by the scheduler); driver-side reads are never faulted.
     """
 
-    def __init__(self, metrics, capacity_bytes: int | None = None) -> None:
+    def __init__(
+        self, metrics, capacity_bytes: int | None = None, fault_plan=None
+    ) -> None:
         self._data: dict[Any, Any] = {}
         self._bytes: dict[Any, int] = {}
         self._lock = threading.Lock()
         self._metrics = metrics
         self.capacity_bytes = capacity_bytes
+        self.fault_plan = fault_plan
 
     def put(self, key: Any, value: Any) -> int:
         """Store a block; returns its byte size."""
@@ -119,6 +125,8 @@ class SharedStorage:
         return nbytes
 
     def get(self, key: Any) -> Any:
+        if self.fault_plan is not None and self.fault_plan.io_fault("storage", key):
+            raise TransientIOError(f"injected shared-storage read failure: {key!r}")
         with self._lock:
             try:
                 value = self._data[key]

@@ -10,7 +10,7 @@ from repro.core.gep import (
     TransitiveClosureGep,
     gep_reference_vectorized,
 )
-from repro.sparkle import GridPartitioner, SparkleContext
+from repro.sparkle import FaultPlan, FaultSpec, GridPartitioner, SparkleContext
 from repro.baselines import numpy_floyd_warshall
 
 from .conftest import assert_tables_equal, fw_table, ge_table, tc_table
@@ -114,16 +114,9 @@ def test_driver_survives_task_failures():
     spec, make = SPECS["fw"]
     t = make(12, seed=7)
     expect = gep_reference_vectorized(spec, t)
-    killed = set()
 
-    def injector(stage, part, attempt):
-        key = (stage, part)
-        if attempt == 1 and len(killed) < 5 and key not in killed:
-            killed.add(key)
-            return True
-        return False
-
-    with SparkleContext(2, 2, failure_injector=injector) as sc:
+    plan = FaultPlan(11, [FaultSpec("kill", rate=0.25)])
+    with SparkleContext(2, 2, fault_plan=plan) as sc:
         solver = GepSparkSolver(
             spec, sc, r=3, kernel=make_kernel(spec, "iterative"), strategy="im"
         )
@@ -136,14 +129,11 @@ def test_cb_failure_recovery():
     spec, make = SPECS["ge"]
     t = make(12, seed=8)
     expect = gep_reference_vectorized(spec, t)
-    flag = {"armed": True}
 
-    def injector(stage, part, attempt):
-        if flag["armed"] and attempt == 1 and stage % 3 == 1:
-            return True
-        return False
-
-    with SparkleContext(2, 2, failure_injector=injector) as sc:
+    plan = FaultPlan(
+        5, [FaultSpec("kill", rate=0.2), FaultSpec("storage", rate=0.2)]
+    )
+    with SparkleContext(2, 2, fault_plan=plan) as sc:
         solver = GepSparkSolver(
             spec, sc, r=3, kernel=make_kernel(spec, "iterative"), strategy="cb"
         )

@@ -167,6 +167,37 @@ class TestCli:
 
         np.testing.assert_allclose(np.load(dst), floyd_warshall(w))
 
+    def test_solve_chaos_flag(self, capsys):
+        from repro.__main__ import main
+
+        assert main([
+            "solve", "apsp", "--n", "16", "--engine", "spark",
+            "--executors", "2", "--cores", "1",
+            "--chaos", "seed=7,kill=0.2,slow=0.1:0.01",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "APSP solved" in out
+        assert "chaos: FaultPlan(seed=7" in out
+        assert "recovery:" in out
+
+    def test_chaos_requires_spark_engine(self, capsys):
+        from repro.__main__ import main
+
+        assert main([
+            "solve", "apsp", "--n", "16", "--engine", "local",
+            "--chaos", "seed=1",
+        ]) == 2
+        assert "requires --engine spark" in capsys.readouterr().err
+
+    def test_chaos_rejects_bad_spec(self, capsys):
+        from repro.__main__ import main
+
+        assert main([
+            "solve", "apsp", "--n", "16", "--engine", "spark",
+            "--chaos", "kill=0.5",
+        ]) == 2
+        assert "invalid --chaos spec" in capsys.readouterr().err
+
     def test_tune_command(self, capsys):
         from repro.__main__ import main
 

@@ -45,8 +45,8 @@ def _ref_group_by_key(pairs, parts):
 
 
 def _num(v):
-    """Numeric view of a value (post-groupByKey values are tuples)."""
-    return v if isinstance(v, int) else sum(v)
+    """Numeric view of a value (grouping ops may nest values in tuples)."""
+    return v if isinstance(v, int) else sum(_num(x) for x in v)
 
 
 OPS = {

@@ -1,15 +1,22 @@
 """sparkle engine: scheduler, shuffle, metrics, failure recovery,
 broadcast, storage capacities."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.sparkle import (
+    FaultPlan,
+    FaultSpec,
     JobAborted,
+    ShuffleFetchFailed,
     SparkleContext,
     StorageCapacityError,
     TaskError,
 )
+from repro.sparkle.executors import ExecutorPool
 from repro.sparkle.shuffle import ShuffleManager
 from repro.util import sizeof_block
 
@@ -109,12 +116,14 @@ class TestShuffleAccounting:
         items, _nbytes, _remote = sm.fetch(sid, 0, 2)
         assert [v for _k, v in items] == ["early", "late"]
 
-    def test_manager_missing_output_raises(self):
+    def test_manager_missing_output_raises_fetch_failed(self):
         sm = ShuffleManager()
         sid = sm.new_shuffle_id()
         sm.write(sid, 0, {0: []})
-        with pytest.raises(StorageCapacityError):
+        with pytest.raises(ShuffleFetchFailed) as err:
             sm.fetch(sid, 0, 2)
+        assert err.value.shuffle_id == sid
+        assert err.value.missing == (1,)
 
     def test_manager_release_frees_bytes(self):
         sm = ShuffleManager()
@@ -127,6 +136,20 @@ class TestShuffleAccounting:
 
 class TestFailureRecovery:
     def test_injected_failure_recovers_via_lineage(self):
+        # Every first attempt dies; lineage recomputation must still
+        # produce the exact fault-free answer.
+        plan = FaultPlan(7, [FaultSpec("kill", rate=1.0)])
+        with SparkleContext(2, 2, fault_plan=plan) as sc:
+            got = dict(
+                sc.parallelize([(i % 2, i) for i in range(8)], 3)
+                .reduceByKey(lambda a, b: a + b, 2)
+                .collect()
+            )
+            assert got == {0: 0 + 2 + 4 + 6, 1: 1 + 3 + 5 + 7}
+            assert sc.metrics.tasks_retried >= 4
+            assert plan.fired()["kill"] >= 4
+
+    def test_legacy_injector_hook_still_works(self):
         killed = set()
 
         def injector(stage, part, attempt):
@@ -136,17 +159,15 @@ class TestFailureRecovery:
             return False
 
         with SparkleContext(2, 2, failure_injector=injector) as sc:
-            got = dict(
-                sc.parallelize([(i % 2, i) for i in range(8)], 3)
-                .reduceByKey(lambda a, b: a + b, 2)
-                .collect()
-            )
-            assert got == {0: 0 + 2 + 4 + 6, 1: 1 + 3 + 5 + 7}
-            assert sc.metrics.tasks_retried >= 4
+            assert sc.parallelize(range(4), 2).map(lambda x: x * 2).collect() == [
+                0, 2, 4, 6,
+            ]
+            assert sc.metrics.tasks_retried == 2
 
     def test_persistent_failure_aborts(self):
+        plan = FaultPlan(3, [FaultSpec("kill", rate=1.0, max_attempt=99)])
         with SparkleContext(
-            1, 1, failure_injector=lambda s, p, a: True, max_task_retries=2
+            1, 1, fault_plan=plan, max_task_retries=2, blacklist_threshold=0
         ) as sc:
             with pytest.raises(JobAborted):
                 sc.parallelize([1], 1).collect()
@@ -162,6 +183,95 @@ class TestFailureRecovery:
             with pytest.raises(TaskError):
                 sc.parallelize([1], 1).map(boom).collect()
         assert len(attempts) == 1
+
+
+class TestExecutorPoolSettle:
+    """``run_tasks``'s contract: exceptions propagate only after every
+    submitted task settles, so a failing task cannot leave straggler
+    threads mutating shared (shuffle) state after the raise."""
+
+    def test_failure_settles_before_propagating(self):
+        pool = ExecutorPool(2, 1)
+        writes: list[int] = []
+        lock = threading.Lock()
+        started = threading.Event()
+
+        def sleeper(i):
+            def run():
+                started.set()
+                time.sleep(0.2)
+                with lock:
+                    writes.append(i)
+            return run
+
+        def failer():
+            started.wait(2.0)  # guarantee a concurrent mutator is running
+            raise RuntimeError("boom")
+
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                pool.run_tasks([sleeper(1), failer, sleeper(2), sleeper(3)])
+            settled = list(writes)
+            # Nothing may keep mutating after the exception surfaced.
+            time.sleep(0.3)
+            assert writes == settled
+        finally:
+            pool.shutdown()
+
+    def test_pending_tasks_cancelled_on_failure(self):
+        # 2 slots, 1 instant failure, 5 slow writers: the writers that
+        # have not started when the failure surfaces must be cancelled,
+        # not run to completion.
+        pool = ExecutorPool(2, 1)
+        writes: list[int] = []
+        lock = threading.Lock()
+
+        def sleeper(i):
+            def run():
+                time.sleep(0.3)
+                with lock:
+                    writes.append(i)
+            return run
+
+        def failer():
+            raise RuntimeError("early")
+
+        try:
+            with pytest.raises(RuntimeError, match="early"):
+                pool.run_tasks([failer] + [sleeper(i) for i in range(5)])
+            assert len(writes) < 5  # at least one pending task never ran
+        finally:
+            pool.shutdown()
+
+    def test_sequential_mode_runs_in_order(self):
+        pool = ExecutorPool(2, 2)
+        order: list[int] = []
+
+        def task(i):
+            def run():
+                order.append(i)
+                return i
+            return run
+
+        try:
+            assert pool.run_tasks([task(i) for i in range(6)], sequential=True) == list(
+                range(6)
+            )
+            assert order == list(range(6))
+        finally:
+            pool.shutdown()
+
+    def test_blacklist_remaps_placement(self):
+        pool = ExecutorPool(3, 1)
+        assert [pool.executor_for(p) for p in range(3)] == [0, 1, 2]
+        assert pool.blacklist(1) is True
+        assert pool.blacklist(1) is False  # already gone
+        assert pool.healthy_executors == (0, 2)
+        assert all(pool.executor_for(p) in (0, 2) for p in range(8))
+        # the last healthy executor can never be blacklisted
+        assert pool.blacklist(0) is True
+        assert pool.blacklist(2) is False
+        assert pool.healthy_executors == (2,)
 
 
 class TestBroadcastAndStorage:
