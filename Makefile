@@ -1,0 +1,19 @@
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test tier1 robustness smoke
+
+# full suite
+test:
+	$(PYTEST) -q
+
+# the CI gate: fail-fast over everything
+tier1:
+	$(PYTEST) -x -q
+
+# seeded fault-injection + durability/crash-resume suites only
+robustness:
+	$(PYTEST) -q -m "chaos or durability"
+
+# robustness gate: tier-1, then the chaos and durability suites verbosely
+smoke: tier1 robustness

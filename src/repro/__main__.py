@@ -4,7 +4,14 @@ Commands
 --------
 ``solve``
     Run one of the DP solvers on a generated (or ``.npy``) input through
-    the chosen engine and print a result summary.
+    the chosen engine and print a result summary.  With
+    ``--checkpoint-dir`` the spark engine journals every completed outer
+    iteration to durable storage; a killed run restarts from the last
+    journaled iteration with ``--resume`` and produces bit-identical
+    output.
+``fsck``
+    Verify the integrity of a checkpoint directory (block checksums,
+    manifest consistency, journal validity) and report any damage.
 ``tune``
     Print the analytical tuning advice for a problem on a cluster preset.
 ``experiments``
@@ -37,7 +44,7 @@ def _load_or_generate(args) -> np.ndarray:
 
 def _cmd_solve(args) -> int:
     from repro.core import floyd_warshall, forward_eliminate, transitive_closure
-    from repro.sparkle import FaultPlan, SparkleContext
+    from repro.sparkle import FaultPlan, ResumeMismatchError, SparkleContext
 
     fault_plan = None
     if args.chaos is not None:
@@ -49,6 +56,12 @@ def _cmd_solve(args) -> int:
         except ValueError as exc:
             print(f"invalid --chaos spec: {exc}", file=sys.stderr)
             return 2
+    if args.engine != "spark" and args.checkpoint_dir:
+        print("--checkpoint-dir requires --engine spark", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
 
     table = _load_or_generate(args)
     kw = dict(
@@ -60,39 +73,117 @@ def _cmd_solve(args) -> int:
         strategy=args.strategy,
     )
     ctx = (
-        SparkleContext(args.executors, args.cores, fault_plan=fault_plan)
+        SparkleContext(
+            args.executors,
+            args.cores,
+            fault_plan=fault_plan,
+            checkpoint_dir=args.checkpoint_dir or None,
+        )
         if args.engine == "spark"
         else None
     )
     try:
         if ctx is not None:
             kw["sc"] = ctx
-        if args.problem == "apsp":
-            out, report = floyd_warshall(table, return_report=True, **kw)
+            kw["resume"] = args.resume
+            kw["max_iterations"] = args.max_iterations
+        try:
+            if args.problem == "apsp":
+                out, report = floyd_warshall(table, return_report=True, **kw)
+            elif args.problem == "tc":
+                out, report = transitive_closure(table, return_report=True, **kw)
+            else:
+                out, _, report = forward_eliminate(
+                    table, None, return_report=True, **kw
+                )
+        except ResumeMismatchError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        partial = report is not None and report.extras.get("partial")
+        if partial:
+            print(
+                f"partial solve: {partial['iterations_completed']} of "
+                f"{partial['grid_iterations']} outer iterations journaled; "
+                f"finish with --resume --checkpoint-dir {args.checkpoint_dir}"
+            )
+        elif args.problem == "apsp":
             finite = out[np.isfinite(out)]
             print(f"APSP solved: n={out.shape[0]}, diameter={finite.max():.4g}, "
                   f"mean distance={finite.mean():.4g}")
         elif args.problem == "tc":
-            out, report = transitive_closure(table, return_report=True, **kw)
             print(f"closure solved: n={out.shape[0]}, "
                   f"reachable pairs={int(out.sum())}")
         else:
-            u, _, report = forward_eliminate(table, None, return_report=True, **kw)
-            print(f"GE eliminated: n={u.shape[0]}, "
-                  f"|det|={abs(float(np.prod(np.diag(u)))):.4g}")
+            print(f"GE eliminated: n={out.shape[0]}, "
+                  f"|det|={abs(float(np.prod(np.diag(out)))):.4g}")
         if report is not None and report.engine_metrics is not None:
             print("engine:", report.engine_metrics.summary())
+            if args.checkpoint_dir:
+                metrics = report.engine_metrics
+                print("durability:", metrics.durability_summary())
+                if report.extras.get("resumed_from_iteration") is not None:
+                    print(
+                        "resumed after journaled iteration "
+                        f"{report.extras['resumed_from_iteration']}"
+                    )
             if fault_plan is not None:
                 print("chaos:", fault_plan.describe(),
                       "| injected:", fault_plan.fired())
                 print("recovery:", report.engine_metrics.recovery_summary())
         if args.output:
-            np.save(args.output, out if args.problem != "ge" else u)
-            print(f"result written to {args.output}")
+            if partial:
+                print(f"partial result: not writing {args.output}")
+            else:
+                np.save(args.output, out)
+                print(f"result written to {args.output}")
     finally:
         if ctx is not None:
             ctx.stop()
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    import os
+
+    from repro.sparkle import DurableBlockStore, SolveJournal
+    from repro.sparkle.errors import CorruptBlockError, JournalError
+
+    if not os.path.isdir(args.dir):
+        print(f"no such checkpoint directory: {args.dir}", file=sys.stderr)
+        return 2
+    try:
+        store = DurableBlockStore(args.dir)
+    except (CorruptBlockError, JournalError) as exc:
+        print(f"manifest unusable: {exc}", file=sys.stderr)
+        return 1
+    report = store.fsck()
+    journal = SolveJournal(args.dir).verify()
+    print(
+        f"fsck {args.dir}: {report.blocks_ok}/{report.blocks_total} blocks ok, "
+        f"{report.bytes_verified} B verified"
+    )
+    for key in report.corrupt:
+        print(f"  CORRUPT block {key}")
+    for key in report.missing:
+        print(f"  MISSING block {key}")
+    for name in report.orphans:
+        print(f"  orphan file {name} (uncommitted write; harmless)")
+    if journal["exists"]:
+        status = "complete" if journal["complete"] else (
+            f"in progress through iteration {journal['last_iteration']}"
+        )
+        print(
+            f"journal: {journal['records_valid']}/{journal['records_total']} "
+            f"records valid, {status}"
+        )
+        if journal["torn_tail"]:
+            print("  torn tail: trailing record(s) invalid, "
+                  "will be truncated on resume")
+    else:
+        print("journal: none")
+    clean = report.clean and not journal["torn_tail"]
+    print("clean" if clean else "DAMAGED (solves recover by recomputation)")
+    return 0 if clean else 1
 
 
 def _cmd_tune(args) -> int:
@@ -148,16 +239,40 @@ def main(argv: list[str] | None = None) -> int:
                        default="recursive")
     solve.add_argument("--r-shared", dest="r_shared", type=int, default=4)
     solve.add_argument("--omp", type=int, default=1)
-    solve.add_argument("--strategy", choices=("im", "cb"), default="im")
+    solve.add_argument("--strategy", choices=("im", "cb", "bcast"), default="im",
+                       help="distribution strategy: im (Listing 1), cb "
+                            "(Listing 2), or bcast (CB via broadcast "
+                            "variables — a design-space ablation)")
     solve.add_argument("--executors", type=int, default=4)
     solve.add_argument("--cores", type=int, default=2)
+    solve.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="durable checkpoint/journal directory for the spark engine: "
+             "every completed outer iteration is snapshotted (checksummed, "
+             "crash-atomic) and journaled before the solve advances")
+    solve.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed solve from the --checkpoint-dir journal; "
+             "bit-identical to an uninterrupted run (safe when no journal "
+             "exists: starts fresh)")
+    solve.add_argument(
+        "--max-iterations", type=int, default=None, metavar="K",
+        help="stop after K journaled outer iterations (staged long solves; "
+             "finish later with --resume)")
     solve.add_argument(
         "--chaos", metavar="SPEC", default=None,
         help="seeded fault injection for the spark engine: 'seed=42' (default "
              "fault mix) or e.g. 'seed=7,kill=0.1,lose=0.05,slow=0.1:0.02,"
-             "storage=0.05,overflow=0.02' (rates per site; slow takes "
-             "rate:delay_seconds; add parallel=1 for concurrent chaos)")
+             "storage=0.05,overflow=0.02,torn_write=0.1,corrupt_block=0.05' "
+             "(rates per site; slow takes rate:delay_seconds; torn_write/"
+             "corrupt_block need --checkpoint-dir; add parallel=1 for "
+             "concurrent chaos)")
     solve.set_defaults(func=_cmd_solve)
+
+    fsck = sub.add_parser(
+        "fsck", help="verify checkpoint-directory integrity")
+    fsck.add_argument("dir", help="checkpoint directory to verify")
+    fsck.set_defaults(func=_cmd_fsck)
 
     tune_p = sub.add_parser("tune", help="analytical configuration advice")
     tune_p.add_argument("problem", choices=("apsp", "ge", "tc"))

@@ -40,13 +40,22 @@ def run_gep(
     partitioner=None,
     collect_stats: bool = False,
     checkpoint_every: int | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    max_iterations: int | None = None,
+    on_iteration=None,
 ) -> tuple[np.ndarray, SolveReport | None]:
     """Run one GEP computation; returns ``(result, report_or_None)``.
 
     ``table`` is never mutated.  See :class:`~repro.core.dpspark.
     GepSparkSolver` for the distributed-engine parameters.
+    ``checkpoint_dir``/``resume``/``max_iterations``/``on_iteration``
+    arm the durable write-ahead journal and crash-resume (spark engine
+    only).
     """
     table = np.asarray(table)
+    if engine != "spark" and (checkpoint_dir is not None or resume):
+        raise ValueError("checkpoint_dir/resume require engine='spark'")
     if engine == "reference":
         return gep_reference_vectorized(spec, table), None
 
@@ -75,7 +84,9 @@ def run_gep(
     if engine == "spark":
         owns_ctx = sc is None
         if owns_ctx:
-            sc = SparkleContext()
+            sc = SparkleContext(checkpoint_dir=checkpoint_dir)
+        elif checkpoint_dir is not None:
+            sc.setCheckpointDir(checkpoint_dir)
         try:
             kern = make_kernel(
                 spec,
@@ -94,6 +105,9 @@ def run_gep(
                 partitioner=partitioner,
                 collect_stats=collect_stats,
                 checkpoint_every=checkpoint_every,
+                resume=resume,
+                max_iterations=max_iterations,
+                on_iteration=on_iteration,
             )
             return solver.solve(table)
         finally:
@@ -120,6 +134,10 @@ class GepRunOptions(dict):
             "partitioner",
             "collect_stats",
             "checkpoint_every",
+            "checkpoint_dir",
+            "resume",
+            "max_iterations",
+            "on_iteration",
         }
     )
 

@@ -33,15 +33,23 @@ can never corrupt the DP table.  A run's recovery cost is surfaced on
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
 from ..kernels import IterativeKernel, LockingKernelStats, RecursiveKernel
 from ..kernels.openmp import OmpRuntime
 from ..sparkle import HashPartitioner, Partitioner, SparkleContext
+from ..sparkle.durable import SolveJournal
+from ..sparkle.errors import (
+    BlockNotFoundError,
+    CorruptBlockError,
+    ResumeMismatchError,
+)
 from ..sparkle.metrics import EngineMetrics
+from ..sparkle.rdd import CheckpointedRDD
 from .blocked import b_range, c_range, grid_bounds
 from .gep import GepSpec
 
@@ -156,6 +164,31 @@ class GepSparkSolver:
         Truncate the DP RDD's lineage every this many iterations
         (Spark-style checkpointing) so driver DAG-walk costs stay bounded
         for large ``r``; ``None`` disables.
+    resume:
+        Resume a crashed solve from its write-ahead journal.  Requires a
+        context constructed with ``checkpoint_dir``; the journal's
+        config/input fingerprint must match this solve, otherwise
+        :class:`~repro.sparkle.errors.ResumeMismatchError`.  If no
+        journal (or no intact snapshot) exists the solve silently starts
+        fresh, so ``--resume`` is safe as an always-on flag.
+    max_iterations:
+        Stop after this many completed (journaled, if durable) outer
+        iterations; the partial result is flagged on
+        ``report.extras["partial"]``.  Pair with ``resume`` for staged
+        long solves.
+    on_iteration:
+        ``f(k)`` called after each completed outer iteration — progress
+        reporting; for a journaled solve it runs *after* the journal
+        commit for ``k``, which the crash-resume tests exploit.
+
+    Durability protocol (when the context has a ``checkpoint_dir``): on
+    every completed outer iteration the tile grid is snapshotted into
+    the durable store (checksummed, crash-atomic), *then* a journal
+    record for ``k`` is appended — the commit point — and only then does
+    the solve advance.  A killed driver restarts from the last journaled
+    iteration whose snapshot verifies (falling back to the previous one
+    if a block is corrupt) and produces bit-identical output to an
+    uninterrupted run.
     """
 
     def __init__(
@@ -170,6 +203,9 @@ class GepSparkSolver:
         partitioner: Partitioner | None = None,
         collect_stats: bool = True,
         checkpoint_every: int | None = None,
+        resume: bool = False,
+        max_iterations: int | None = None,
+        on_iteration: Callable[[int], None] | None = None,
     ) -> None:
         if strategy not in ("im", "cb", "bcast"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -177,7 +213,16 @@ class GepSparkSolver:
             raise ValueError("r must be >= 1")
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if max_iterations is not None and max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if resume and sc.durable_store is None:
+            raise ValueError(
+                "resume requires a SparkleContext with a checkpoint_dir"
+            )
         self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        self.max_iterations = max_iterations
+        self.on_iteration = on_iteration
         self.spec = spec
         self.sc = sc
         self.r = r
@@ -202,11 +247,46 @@ class GepSparkSolver:
         n = table.shape[0]
         bounds = grid_bounds(n, self.r)
         nt = len(bounds) - 1
-        dp = self._initial_rdd(table, bounds, nt)
-        for k in range(nt):
-            if not any(
+        store = self.sc.durable_store
+        journal = SolveJournal(store.root) if store is not None else None
+        fingerprint = (
+            self._fingerprint(table, n, nt) if journal is not None else None
+        )
+
+        def active(k: int) -> bool:
+            return any(
                 self.spec.k_active(g, n) for g in range(bounds[k], bounds[k + 1])
-            ):
+            )
+
+        dp = None
+        start_k = 0
+        resumed_from: int | None = None
+        if journal is not None and self.resume and journal.exists:
+            restored = self._try_resume(journal, store, fingerprint, nt)
+            if restored is not None:
+                dp, start_k, resumed_from = restored
+        if dp is None:
+            if journal is not None:
+                journal.reset()
+                journal.append(
+                    {
+                        "kind": "begin",
+                        "fingerprint": fingerprint,
+                        "spec": self.spec.name,
+                        "strategy": self.strategy,
+                        "n": n,
+                        "r": self.r,
+                        "nt": nt,
+                    }
+                )
+                self.sc.metrics.journal_appends += 1
+            dp = self._initial_rdd(table, bounds, nt)
+
+        self._kept_snapshots = [resumed_from] if resumed_from is not None else []
+        completed = 0
+        partial = False
+        for k in range(start_k, nt):
+            if not active(k):
                 continue
             if self.strategy == "im":
                 dp = self._im_iteration(dp, k, bounds, nt, n)
@@ -219,7 +299,18 @@ class GepSparkSolver:
                 and (k + 1) % self.checkpoint_every == 0
             ):
                 dp = dp.checkpoint()
+            if journal is not None:
+                dp = self._journal_iteration(journal, store, dp, k, nt)
+            if self.on_iteration is not None:
+                self.on_iteration(k)
+            completed += 1
+            if self.max_iterations is not None and completed >= self.max_iterations:
+                partial = any(active(kk) for kk in range(k + 1, nt))
+                break
         result = self._assemble(dp, bounds, n, dtype=self.spec.dtype)
+        if journal is not None and not partial:
+            journal.append({"kind": "done"})
+            self.sc.metrics.journal_appends += 1
         report = SolveReport(
             spec_name=self.spec.name,
             strategy=self.strategy,
@@ -231,10 +322,108 @@ class GepSparkSolver:
             kernel_stats=self.stats,
             wall_seconds=time.perf_counter() - start,
         )
+        if partial:
+            report.extras["partial"] = {
+                "iterations_completed": completed,
+                "grid_iterations": nt,
+            }
+        if resumed_from is not None:
+            report.extras["resumed_from_iteration"] = resumed_from
         if self.sc.fault_plan is not None:
             report.extras["chaos"] = self.sc.fault_plan.describe()
             report.extras["faults_injected"] = self.sc.fault_plan.fired()
         return result, report
+
+    # ------------------------------------------------------------------
+    # durability: write-ahead journal + snapshot/restore
+    # ------------------------------------------------------------------
+    def _fingerprint(self, table: np.ndarray, n: int, nt: int) -> str:
+        """Config/input identity a journal must match to be resumable.
+
+        Covers everything that influences the numeric result: problem
+        spec and dtype, grid shape, strategy, kernel configuration, and
+        the exact input bytes (which also captures any generator seed).
+        Scheduling knobs (partitioner, executor counts, chaos plans)
+        deliberately stay out — they alter traces, never results.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        config = (
+            self.spec.name,
+            str(np.dtype(self.spec.dtype)),
+            n,
+            self.r,
+            nt,
+            self.strategy,
+            sorted(self.kernel.describe().items()),
+        )
+        h.update(repr(config).encode())
+        h.update(np.ascontiguousarray(table).tobytes())
+        return h.hexdigest()
+
+    def _journal_iteration(self, journal, store, dp, k: int, nt: int):
+        """WAL commit of completed iteration ``k``.
+
+        Order matters: snapshot blocks land (checksummed, atomic) before
+        the journal record, so the record *is* the commit point — a
+        crash in between resumes from ``k - 1`` and merely leaves
+        unreferenced snapshot blocks for ``fsck`` to report.  Returns
+        the materialized grid as a lineage-truncated RDD (the snapshot
+        is now the recovery point, Spark's reliable-checkpoint rule).
+        """
+        parts = self.sc.run_job(dp, list, action="snapshot")
+        for items in parts:
+            for (i, j), tile in items:
+                store.put(("snap", k, i, j), tile)
+        journal.append({"kind": "iteration", "k": k})
+        self.sc.metrics.journal_appends += 1
+        self._kept_snapshots.append(k)
+        # Keep the last two snapshots so a corrupt block in the newest
+        # one still has an intact fallback; prune anything older.
+        while len(self._kept_snapshots) > 2:
+            old = self._kept_snapshots.pop(0)
+            for i in range(nt):
+                for j in range(nt):
+                    store.delete(("snap", old, i, j))
+        return CheckpointedRDD(self.sc, parts, dp.partitioner)
+
+    def _try_resume(self, journal, store, fingerprint: str, nt: int):
+        """Restore ``(dp, start_k, resumed_from)`` from the journal.
+
+        Walks journaled iterations newest-first and restores the first
+        snapshot whose blocks all pass their checksums — a corrupt or
+        missing block (metered as ``corrupt_blocks_detected``) falls
+        back to the previous snapshot rather than ever surfacing bad
+        tiles.  Returns ``None`` (fresh start) when nothing usable
+        survives.
+        """
+        entries = journal.truncate_to_valid()
+        if not entries or entries[0].get("kind") != "begin":
+            return None
+        begin = entries[0]
+        if begin.get("fingerprint") != fingerprint:
+            raise ResumeMismatchError(
+                f"journal at {journal.path} records fingerprint "
+                f"{begin.get('fingerprint')!r} but this solve has "
+                f"{fingerprint!r} (different input/config); refusing to resume"
+            )
+        metrics = self.sc.metrics
+        metrics.journal_entries_replayed += len(entries)
+        iterations = [e for e in entries if e.get("kind") == "iteration"]
+        for entry in reversed(iterations):
+            k = entry["k"]
+            tiles = []
+            try:
+                for i in range(nt):
+                    for j in range(nt):
+                        tiles.append(((i, j), store.get(("snap", k, i, j))))
+            except (BlockNotFoundError, CorruptBlockError):
+                continue
+            dp = self.sc.parallelize(tiles, self.num_partitions).partitionBy(
+                partitioner=self.partitioner
+            )
+            metrics.resumed_from_iteration = k
+            return dp, k + 1, k
+        return None
 
     # ------------------------------------------------------------------
     # setup / teardown

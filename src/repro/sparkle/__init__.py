@@ -15,14 +15,27 @@ to exercise lineage recomputation), stragglers (raced by speculative
 copies), and transient storage/broadcast/staging faults; the scheduler
 recovers with deterministic backoff, map-output recomputation, and
 executor blacklisting, and every recovery event is metered.
+
+Driver crashes are covered too: :mod:`repro.sparkle.durable` adds a
+checksummed on-disk block store (atomic tmp+rename writes, BLAKE2b
+manifests) behind ``RDD.checkpoint()`` and the CB shared storage, plus
+a write-ahead solve journal that the GEP drivers use for
+``--resume``-able, bit-identical crash recovery; ``torn_write`` and
+``corrupt_block`` chaos kinds exercise the layer under the same seeded
+determinism contract.
 """
 
 from .broadcast import Broadcast
 from .chaos import FAULT_KINDS, FaultPlan, FaultSpec
 from .context import SparkleContext
+from .durable import DurableBlockStore, FsckReport, SolveJournal
 from .errors import (
+    BlockNotFoundError,
+    CorruptBlockError,
     ExecutorLost,
     JobAborted,
+    JournalError,
+    ResumeMismatchError,
     ShuffleFetchFailed,
     SparkleError,
     StorageCapacityError,
@@ -57,6 +70,13 @@ __all__ = [
     "ShuffleFetchFailed",
     "JobAborted",
     "StorageCapacityError",
+    "BlockNotFoundError",
+    "CorruptBlockError",
+    "JournalError",
+    "ResumeMismatchError",
+    "DurableBlockStore",
+    "FsckReport",
+    "SolveJournal",
     "FaultPlan",
     "FaultSpec",
     "FAULT_KINDS",

@@ -58,7 +58,15 @@ CURRENT_TASK: ContextVar = ContextVar("sparkle_current_task", default=None)
 #: ``storage``   transient shared-storage read failure (CB staging I/O)
 #: ``bcast``     transient broadcast-variable read failure
 #: ``overflow``  transient shuffle-staging overflow on a map output write
-FAULT_KINDS = ("kill", "lose", "slow", "storage", "bcast", "overflow")
+#: ``torn_write``    a durable-store write lands truncated (crash/fs lie
+#:                   mid-write); detected by the store's read-back verify
+#:                   and rewritten
+#: ``corrupt_block`` silent bitrot of a durable block *after* commit;
+#:                   undetected until a checksummed read or ``fsck``
+FAULT_KINDS = (
+    "kill", "lose", "slow", "storage", "bcast", "overflow",
+    "torn_write", "corrupt_block",
+)
 
 #: Modest everything-on mix used by ``FaultPlan.default`` / bare
 #: ``--chaos seed=N``.
@@ -69,6 +77,11 @@ DEFAULT_RATES = {
     "storage": 0.03,
     "bcast": 0.0,
     "overflow": 0.02,
+    # Durable-store faults are inert unless a checkpoint dir is attached,
+    # and arming them implicitly would perturb runs that opt into
+    # durability with a bare ``seed=N`` — opt in explicitly instead.
+    "torn_write": 0.0,
+    "corrupt_block": 0.0,
 }
 
 DEFAULT_STRAGGLER_DELAY = 0.05
@@ -242,6 +255,22 @@ class FaultPlan:
             return False
         site = (task.stage_id, task.partition, task.attempt) + tuple(key)
         if self._decide(kind, task.attempt, site):
+            self.note(kind)
+            return True
+        return False
+
+    def durable_fault(self, kind: str, key, attempt: int) -> bool:
+        """Durable-store fault (``torn_write``/``corrupt_block``).
+
+        Unlike :meth:`io_fault` this fires for *driver-side* writes too —
+        the journal and snapshot blocks are written by the driver, and a
+        crash-consistency layer that only failed inside tasks would miss
+        its main customer.  Keyed by the block key plus the store's
+        per-key write attempt, so a detected torn write retries clean
+        under the default ``max_attempt=1`` contract.
+        """
+        site = (repr(key), attempt)
+        if self._decide(kind, attempt, site):
             self.note(kind)
             return True
         return False

@@ -21,6 +21,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 from ..util import sizeof_block
 from .broadcast import Broadcast
 from .chaos import FaultPlan
+from .durable import DurableBlockStore
 from .executors import ExecutorPool
 from .metrics import EngineMetrics
 from .rdd import RDD, ParallelCollectionRDD, UnionRDD
@@ -70,6 +71,13 @@ class SparkleContext:
     backoff_base / backoff_cap / backoff_jitter:
         Retry backoff: ``base * 2^(attempt-2)`` seconds, capped, then
         stretched by up to ``jitter`` of itself (deterministic per site).
+    checkpoint_dir:
+        Directory for the durable layer (:class:`~repro.sparkle.durable.
+        DurableBlockStore`).  When set, ``RDD.checkpoint()`` becomes a
+        reliable (on-disk, checksummed) checkpoint, CB shared-storage
+        puts are written through to disk, and the GEP drivers journal
+        iteration snapshots here for ``--resume``.  ``None`` keeps the
+        historical all-in-memory behavior.
     """
 
     def __init__(
@@ -88,6 +96,7 @@ class SparkleContext:
         backoff_base: float = 0.001,
         backoff_cap: float = 0.05,
         backoff_jitter: float = 0.5,
+        checkpoint_dir: str | None = None,
     ) -> None:
         self.num_executors = num_executors
         self.cores_per_executor = cores_per_executor
@@ -105,6 +114,7 @@ class SparkleContext:
             shuffle_capacity_bytes, fault_plan=fault_plan
         )
         self._block_manager = BlockManager(cache_capacity_bytes)
+        self.durable_store: DurableBlockStore | None = None
         self.shared_storage = SharedStorage(
             self.metrics, storage_capacity_bytes, fault_plan=fault_plan
         )
@@ -121,6 +131,8 @@ class SparkleContext:
         self._next_rdd_id = 0
         self._next_broadcast_id = 0
         self._stopped = False
+        if checkpoint_dir is not None:
+            self.setCheckpointDir(checkpoint_dir)
 
     # ------------------------------------------------------------------
     # RDD creation
@@ -160,6 +172,26 @@ class SparkleContext:
     def run_job(self, rdd: RDD, func: Callable[[Iterator], Any], action: str) -> list:
         self._check_active()
         return self._scheduler.run_job(rdd, func, action)
+
+    def setCheckpointDir(self, path: str) -> DurableBlockStore:
+        """Attach the durable layer (PySpark's ``setCheckpointDir``).
+
+        Idempotent for the same directory; rewires shared storage to
+        write through to disk and upgrades ``RDD.checkpoint()`` to
+        reliable checkpointing.
+        """
+        self._check_active()
+        if self.durable_store is not None:
+            if str(self.durable_store.root) != str(path):
+                raise ValueError(
+                    f"checkpoint dir already set to {self.durable_store.root}"
+                )
+            return self.durable_store
+        self.durable_store = DurableBlockStore(
+            path, metrics=self.metrics, fault_plan=self.fault_plan
+        )
+        self.shared_storage.backing = self.durable_store
+        return self.durable_store
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -10,6 +10,10 @@ __all__ = [
     "TransientIOError",
     "ShuffleFetchFailed",
     "StorageCapacityError",
+    "BlockNotFoundError",
+    "CorruptBlockError",
+    "JournalError",
+    "ResumeMismatchError",
     "JobAborted",
 ]
 
@@ -81,6 +85,47 @@ class StorageCapacityError(SparkleError):
     stage intermediate data on local disk before shuffling, and large
     inputs (or small inputs with many replicates) can fail outright.
     """
+
+
+class BlockNotFoundError(SparkleError, KeyError):
+    """A block store has no entry for the requested key.
+
+    Subclasses :class:`KeyError` for callers doing dict-style handling,
+    but carries engine typing so the scheduler can tell "block missing —
+    retry/recompute" apart from a programmer error inside a task.
+    """
+
+    def __init__(self, message: str, key=None) -> None:
+        super().__init__(message)
+        self.key = key
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
+class CorruptBlockError(SparkleError):
+    """A durable block failed its checksum (torn write, bitrot, tamper).
+
+    Never silently surfaces wrong data: consumers either fall back to
+    lineage recomputation (:class:`~repro.sparkle.rdd.
+    DurableCheckpointRDD`), fall back to an earlier journaled snapshot
+    (solver resume), or report it (``repro fsck``).
+    """
+
+    def __init__(self, message: str, key=None) -> None:
+        super().__init__(message)
+        self.key = key
+
+
+class JournalError(SparkleError):
+    """The write-ahead solve journal is unusable (unparseable, wrong
+    version) beyond the torn-tail truncation recovery handles."""
+
+
+class ResumeMismatchError(JournalError):
+    """``--resume`` found a journal written by a different solve
+    configuration (fingerprint mismatch); resuming would silently mix
+    incompatible state, so the solve refuses instead."""
 
 
 class JobAborted(SparkleError):

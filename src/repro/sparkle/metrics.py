@@ -120,6 +120,24 @@ class EngineMetrics:
     backoff_waits: int = 0
     backoff_seconds_total: float = 0.0
     blacklisted_executors: list[int] = field(default_factory=list)
+    # ---- durability counters (checkpoint store / solve journal) -------
+    durable_puts: int = 0
+    durable_gets: int = 0
+    durable_bytes_written: int = 0
+    durable_bytes_read: int = 0
+    #: writes that landed truncated and were caught by read-back verify
+    torn_writes_detected: int = 0
+    #: checksummed reads that caught silent corruption (bitrot/tamper)
+    corrupt_blocks_detected: int = 0
+    #: durable checkpoint blocks found corrupt and recomputed from lineage
+    checkpoint_recomputes: int = 0
+    #: SharedStorage memory misses served from the durable backing store
+    storage_backing_reads: int = 0
+    journal_appends: int = 0
+    #: journal records replayed by a ``--resume`` recovery
+    journal_entries_replayed: int = 0
+    #: outer iteration a resumed solve restarted *after* (None = fresh)
+    resumed_from_iteration: int | None = None
 
     def new_job(self, action: str) -> JobTrace:
         trace = JobTrace(job_id=len(self.jobs), action=action)
@@ -164,6 +182,22 @@ class EngineMetrics:
             "backoff_waits": self.backoff_waits,
             "backoff_seconds_total": round(self.backoff_seconds_total, 6),
             "executors_blacklisted": len(self.blacklisted_executors),
+            "torn_writes_detected": self.torn_writes_detected,
+            "corrupt_blocks_detected": self.corrupt_blocks_detected,
+            "checkpoint_recomputes": self.checkpoint_recomputes,
+            "storage_backing_reads": self.storage_backing_reads,
+        }
+
+    def durability_summary(self) -> dict[str, Any]:
+        """Journal/checkpoint-store accounting for one run."""
+        return {
+            "durable_puts": self.durable_puts,
+            "durable_gets": self.durable_gets,
+            "durable_bytes_written": self.durable_bytes_written,
+            "durable_bytes_read": self.durable_bytes_read,
+            "journal_appends": self.journal_appends,
+            "journal_entries_replayed": self.journal_entries_replayed,
+            "resumed_from_iteration": self.resumed_from_iteration,
         }
 
     def summary(self) -> dict[str, Any]:
@@ -180,4 +214,5 @@ class EngineMetrics:
             "storage_bytes_read": self.storage_bytes_read,
         }
         out.update(self.recovery_summary())
+        out.update(self.durability_summary())
         return out

@@ -38,6 +38,7 @@ from typing import Any, Callable, Iterator
 
 from .chaos import CURRENT_TASK, deterministic_fraction
 from .errors import (
+    BlockNotFoundError,
     ExecutorLost,
     JobAborted,
     ShuffleFetchFailed,
@@ -51,7 +52,9 @@ from .rdd import NarrowDependency, RDD, ShuffleDependency
 __all__ = ["DAGScheduler", "TaskContext", "Stage"]
 
 #: Failures the retry loop recovers from (vs user errors → TaskError).
-RETRYABLE = (TaskKilled, ExecutorLost, TransientIOError)
+#: BlockNotFoundError is typed precisely so it lands here: a missing
+#: storage block is a recomputation trigger, not a programmer error.
+RETRYABLE = (TaskKilled, ExecutorLost, TransientIOError, BlockNotFoundError)
 
 
 class TaskContext:

@@ -7,7 +7,11 @@ in (driver-process) memory keyed by ``(rdd_id, partition)``.
 Collect-Broadcast strategy (paper §IV-C): the driver collects blocks and
 writes them here; executors read them back in the next stage.  Reads and
 writes are byte-accounted so the cost model can price the staging I/O
-(SSD on cluster 1, spinning disk on cluster 2 — the Fig. 8 axis).
+(SSD on cluster 1, spinning disk on cluster 2 — the Fig. 8 axis).  With
+a :class:`~repro.sparkle.durable.DurableBlockStore` attached as
+``backing`` (a context constructed with ``checkpoint_dir``), every put
+also lands on disk — making the §IV-C storage *actually* persistent —
+and a memory miss falls back to a checksummed durable read.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ import threading
 from typing import Any
 
 from ..util import sizeof_block
-from .errors import StorageCapacityError, TransientIOError
+from .errors import BlockNotFoundError, StorageCapacityError, TransientIOError
 
 __all__ = ["BlockManager", "SharedStorage"]
 
@@ -35,6 +39,7 @@ class BlockManager:
 
         self._blocks: "OrderedDict[tuple[int, int], list]" = OrderedDict()
         self._bytes: dict[tuple[int, int], int] = {}
+        self._live_bytes = 0
         self._lock = threading.Lock()
         self.capacity_bytes = capacity_bytes
         self.evictions = 0
@@ -48,14 +53,14 @@ class BlockManager:
                 and nbytes > self.capacity_bytes
             ):
                 return  # single block larger than the cache: skip caching
+            self._live_bytes += nbytes - self._bytes.get(key, 0)
             self._blocks[key] = items
             self._blocks.move_to_end(key)
             self._bytes[key] = nbytes
             if self.capacity_bytes is not None:
-                live = sum(self._bytes.values())
-                while live > self.capacity_bytes and len(self._blocks) > 1:
+                while self._live_bytes > self.capacity_bytes and len(self._blocks) > 1:
                     victim, _ = self._blocks.popitem(last=False)
-                    live -= self._bytes.pop(victim)
+                    self._live_bytes -= self._bytes.pop(victim)
                     self.evictions += 1
 
     def get(self, rdd_id: int, partition: int) -> list | None:
@@ -74,12 +79,12 @@ class BlockManager:
         with self._lock:
             for key in [k for k in self._blocks if k[0] == rdd_id]:
                 del self._blocks[key]
-                self._bytes.pop(key, None)
+                self._live_bytes -= self._bytes.pop(key, 0)
 
     @property
     def live_bytes(self) -> int:
         with self._lock:
-            return sum(self._bytes.values())
+            return self._live_bytes
 
     @property
     def num_blocks(self) -> int:
@@ -94,24 +99,34 @@ class SharedStorage:
     storage CB trades for shuffle efficiency).  An attached
     :class:`~repro.sparkle.chaos.FaultPlan` can flake executor-side reads
     transiently (:class:`~repro.sparkle.errors.TransientIOError`, retried
-    by the scheduler); driver-side reads are never faulted.
+    by the scheduler); driver-side reads are never faulted.  A missing
+    block raises the typed :class:`~repro.sparkle.errors.
+    BlockNotFoundError` (a ``KeyError`` subclass), which the scheduler
+    retries as a recomputation trigger rather than treating as a task
+    bug.
     """
 
     def __init__(
-        self, metrics, capacity_bytes: int | None = None, fault_plan=None
+        self,
+        metrics,
+        capacity_bytes: int | None = None,
+        fault_plan=None,
+        backing=None,
     ) -> None:
         self._data: dict[Any, Any] = {}
         self._bytes: dict[Any, int] = {}
+        self._live_bytes = 0
         self._lock = threading.Lock()
         self._metrics = metrics
         self.capacity_bytes = capacity_bytes
         self.fault_plan = fault_plan
+        self.backing = backing
 
     def put(self, key: Any, value: Any) -> int:
         """Store a block; returns its byte size."""
         nbytes = sizeof_block(value)
         with self._lock:
-            live = sum(self._bytes.values()) - self._bytes.get(key, 0)
+            live = self._live_bytes - self._bytes.get(key, 0)
             if self.capacity_bytes is not None and live + nbytes > self.capacity_bytes:
                 raise StorageCapacityError(
                     f"shared storage put of {nbytes} B exceeds capacity "
@@ -119,37 +134,54 @@ class SharedStorage:
                 )
             self._data[key] = value
             self._bytes[key] = nbytes
+            self._live_bytes = live + nbytes
             if self._metrics is not None:
                 self._metrics.storage_bytes_written += nbytes
                 self._metrics.storage_puts += 1
+        if self.backing is not None:
+            self.backing.put(("shared", key), value)
         return nbytes
 
     def get(self, key: Any) -> Any:
         if self.fault_plan is not None and self.fault_plan.io_fault("storage", key):
             raise TransientIOError(f"injected shared-storage read failure: {key!r}")
         with self._lock:
-            try:
-                value = self._data[key]
-            except KeyError:
-                raise KeyError(f"shared storage has no block {key!r}") from None
-            if self._metrics is not None:
-                self._metrics.storage_bytes_read += self._bytes[key]
-                self._metrics.storage_gets += 1
+            if key in self._data:
+                if self._metrics is not None:
+                    self._metrics.storage_bytes_read += self._bytes[key]
+                    self._metrics.storage_gets += 1
+                return self._data[key]
+        if self.backing is not None and self.backing.contains(("shared", key)):
+            # Memory lost the block (e.g. a restarted driver) but the
+            # durable layer still has it — checksummed read, re-warmed.
+            value = self.backing.get(("shared", key))
+            with self._lock:
+                nbytes = sizeof_block(value)
+                self._data[key] = value
+                self._live_bytes += nbytes - self._bytes.get(key, 0)
+                self._bytes[key] = nbytes
+                if self._metrics is not None:
+                    self._metrics.storage_backing_reads += 1
+                    self._metrics.storage_bytes_read += nbytes
+                    self._metrics.storage_gets += 1
             return value
+        raise BlockNotFoundError(f"shared storage has no block {key!r}", key=key)
 
     def contains(self, key: Any) -> bool:
         with self._lock:
             return key in self._data
 
     def clear(self) -> None:
+        """Drop the in-memory view (durable backing blocks are kept)."""
         with self._lock:
             self._data.clear()
             self._bytes.clear()
+            self._live_bytes = 0
 
     @property
     def live_bytes(self) -> int:
         with self._lock:
-            return sum(self._bytes.values())
+            return self._live_bytes
 
     def __len__(self) -> int:
         with self._lock:

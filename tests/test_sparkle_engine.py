@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.sparkle import (
+    BlockNotFoundError,
     FaultPlan,
     FaultSpec,
     JobAborted,
@@ -308,8 +309,41 @@ class TestBroadcastAndStorage:
 
     def test_shared_storage_missing_key(self):
         with SparkleContext(1, 1) as sc:
+            # typed (and still a KeyError for dict-idiom callers)
+            with pytest.raises(BlockNotFoundError):
+                sc.shared_storage.get("nope")
             with pytest.raises(KeyError):
                 sc.shared_storage.get("nope")
+
+    def test_shared_storage_live_bytes_running_total(self):
+        with SparkleContext(1, 1) as sc:
+            storage = sc.shared_storage
+            a, b = np.ones(8), np.ones(64)
+            storage.put("x", a)
+            storage.put("y", a)
+            assert storage.live_bytes == 2 * a.nbytes
+            storage.put("x", b)  # overwrite releases the old bytes
+            assert storage.live_bytes == a.nbytes + b.nbytes
+            storage.clear()
+            assert storage.live_bytes == 0
+
+    def test_block_manager_live_bytes_tracks_eviction(self):
+        from repro.sparkle.storage import BlockManager
+
+        arr = np.ones(64)
+        blk = sizeof_block(arr)  # puts size each item, not the list
+        bm = BlockManager(capacity_bytes=3 * blk)
+        for rdd_id in range(5):
+            bm.put(rdd_id, 0, [arr])
+        assert bm.live_bytes <= 3 * blk
+        survivors = [i for i in range(5) if bm.contains(i, 0)]
+        assert bm.live_bytes == len(survivors) * blk
+        bm.put(1, 0, [arr])  # re-insert then overwrite in place
+        before = bm.live_bytes
+        bm.put(1, 0, [arr])
+        assert bm.live_bytes == before
+        bm.evict_rdd(1)
+        assert bm.live_bytes == before - blk
 
 
 class TestContextLifecycle:
