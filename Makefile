@@ -11,9 +11,9 @@ test:
 tier1:
 	$(PYTEST) -x -q
 
-# seeded fault-injection + durability/crash-resume suites only
+# seeded fault-injection + durability/crash-resume + memory-governor suites
 robustness:
-	$(PYTEST) -q -m "chaos or durability"
+	$(PYTEST) -q -m "chaos or durability or memory"
 
-# robustness gate: tier-1, then the chaos and durability suites verbosely
+# robustness gate: tier-1, then the chaos/durability/memory suites verbosely
 smoke: tier1 robustness

@@ -12,6 +12,10 @@ Commands
 ``fsck``
     Verify the integrity of a checkpoint directory (block checksums,
     manifest consistency, journal validity) and report any damage.
+``memstat``
+    Print the memory-governor counters (spill volume, pressure
+    transitions, admission waits, degradations) from a solve report
+    JSON written with ``solve --report``.
 ``tune``
     Print the analytical tuning advice for a problem on a cluster preset.
 ``experiments``
@@ -62,6 +66,18 @@ def _cmd_solve(args) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.memory_budget is not None and args.engine != "spark":
+        print("--memory-budget requires --engine spark", file=sys.stderr)
+        return 2
+    if args.memory_budget is not None and args.memory_budget < 1:
+        print("--memory-budget must be >= 1 byte", file=sys.stderr)
+        return 2
+    if args.memory_budget is None and (args.spill_dir or args.degrade_on_pressure):
+        print(
+            "--spill-dir/--degrade-on-pressure require --memory-budget",
+            file=sys.stderr,
+        )
+        return 2
 
     table = _load_or_generate(args)
     kw = dict(
@@ -78,6 +94,8 @@ def _cmd_solve(args) -> int:
             args.cores,
             fault_plan=fault_plan,
             checkpoint_dir=args.checkpoint_dir or None,
+            memory_budget_bytes=args.memory_budget,
+            spill_dir=args.spill_dir or None,
         )
         if args.engine == "spark"
         else None
@@ -87,6 +105,7 @@ def _cmd_solve(args) -> int:
             kw["sc"] = ctx
             kw["resume"] = args.resume
             kw["max_iterations"] = args.max_iterations
+            kw["degrade_on_pressure"] = args.degrade_on_pressure
         try:
             if args.problem == "apsp":
                 out, report = floyd_warshall(table, return_report=True, **kw)
@@ -130,6 +149,21 @@ def _cmd_solve(args) -> int:
                 print("chaos:", fault_plan.describe(),
                       "| injected:", fault_plan.fired())
                 print("recovery:", report.engine_metrics.recovery_summary())
+            if args.memory_budget is not None:
+                print("memory:", report.engine_metrics.memory_summary())
+                if report.extras.get("degraded"):
+                    d = report.extras["degraded"]
+                    print(
+                        f"degraded {d['from']}->{d['to']} at outer "
+                        f"iteration {d['at_iteration']} (critical memory "
+                        f"pressure)"
+                    )
+        if args.report and report is not None:
+            import json
+
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(report.summary(), fh, indent=2, default=str)
+            print(f"report written to {args.report}")
         if args.output:
             if partial:
                 print(f"partial result: not writing {args.output}")
@@ -184,6 +218,70 @@ def _cmd_fsck(args) -> int:
     clean = report.clean and not journal["torn_tail"]
     print("clean" if clean else "DAMAGED (solves recover by recomputation)")
     return 0 if clean else 1
+
+
+def _cmd_memstat(args) -> int:
+    import json
+    import os
+
+    if not os.path.isfile(args.report):
+        print(f"no such report file: {args.report}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.report, encoding="utf-8") as fh:
+            summary = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read report: {exc}", file=sys.stderr)
+        return 2
+    counters = (
+        ("spill_bytes_written", "B"),
+        ("spill_bytes_read", "B"),
+        ("blocks_spilled", ""),
+        ("shuffle_blocks_spilled", ""),
+        ("spill_reads", ""),
+        ("admission_waits", ""),
+        ("admission_wait_seconds", "s"),
+        ("mem_squeezes", ""),
+        ("strategy_degradations", ""),
+        ("forced_grants", ""),
+        ("shuffle_partial_cleanups", ""),
+    )
+    if not any(key in summary for key, _unit in counters):
+        print(
+            "report has no memory-governor counters (was it written by "
+            "'solve --report' on a spark run?)",
+            file=sys.stderr,
+        )
+        return 2
+    label = summary.get("spec", "?")
+    print(
+        f"memstat {args.report}: {label} "
+        f"strategy={summary.get('strategy', '?')} n={summary.get('n', '?')}"
+    )
+    for key, unit in counters:
+        if key in summary:
+            suffix = f" {unit}" if unit else ""
+            print(f"  {key:26s} {summary[key]}{suffix}")
+    transitions = summary.get("pressure_transitions") or []
+    print(f"  pressure_transitions       {len(transitions)}")
+    for hop in transitions:
+        print(f"    {hop}")
+    extras = summary.get("extras") or {}
+    if extras.get("degraded"):
+        d = extras["degraded"]
+        print(
+            f"  degraded: {d.get('from')}->{d.get('to')} at iteration "
+            f"{d.get('at_iteration')}"
+        )
+    budget = extras.get("memory_budget")
+    if budget:
+        print(
+            f"  budget: {budget.get('live_bytes')} B live of "
+            f"{budget.get('budget_bytes')} B "
+            f"(initial {budget.get('initial_budget_bytes')} B, "
+            f"level {budget.get('level')})"
+        )
+    return 0
 
 
 def _cmd_tune(args) -> int:
@@ -260,19 +358,44 @@ def main(argv: list[str] | None = None) -> int:
         help="stop after K journaled outer iterations (staged long solves; "
              "finish later with --resume)")
     solve.add_argument(
+        "--memory-budget", dest="memory_budget", type=int, default=None,
+        metavar="BYTES",
+        help="unified memory budget for the spark engine: RDD cache and "
+             "shuffle staging share BYTES, overflow spills to disk instead "
+             "of failing, and task launches queue under pressure")
+    solve.add_argument(
+        "--spill-dir", dest="spill_dir", metavar="DIR", default=None,
+        help="spill store directory (default: <checkpoint-dir>/spill, else "
+             "a temporary directory); requires --memory-budget")
+    solve.add_argument(
+        "--degrade-on-pressure", action="store_true",
+        help="switch an IM solve to CB at the next outer-iteration boundary "
+             "when memory pressure goes critical (bit-identical result); "
+             "requires --memory-budget")
+    solve.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the full solve report (engine/memory/recovery counters) "
+             "as JSON; inspect later with 'memstat FILE'")
+    solve.add_argument(
         "--chaos", metavar="SPEC", default=None,
         help="seeded fault injection for the spark engine: 'seed=42' (default "
              "fault mix) or e.g. 'seed=7,kill=0.1,lose=0.05,slow=0.1:0.02,"
-             "storage=0.05,overflow=0.02,torn_write=0.1,corrupt_block=0.05' "
+             "storage=0.05,overflow=0.02,torn_write=0.1,corrupt_block=0.05,"
+             "mem_squeeze=0.2' "
              "(rates per site; slow takes rate:delay_seconds; torn_write/"
-             "corrupt_block need --checkpoint-dir; add parallel=1 for "
-             "concurrent chaos)")
+             "corrupt_block need --checkpoint-dir; mem_squeeze needs "
+             "--memory-budget; add parallel=1 for concurrent chaos)")
     solve.set_defaults(func=_cmd_solve)
 
     fsck = sub.add_parser(
         "fsck", help="verify checkpoint-directory integrity")
     fsck.add_argument("dir", help="checkpoint directory to verify")
     fsck.set_defaults(func=_cmd_fsck)
+
+    memstat = sub.add_parser(
+        "memstat", help="print memory-governor counters from a solve report")
+    memstat.add_argument("report", help="JSON file from 'solve --report'")
+    memstat.set_defaults(func=_cmd_memstat)
 
     tune_p = sub.add_parser("tune", help="analytical configuration advice")
     tune_p.add_argument("problem", choices=("apsp", "ge", "tc"))

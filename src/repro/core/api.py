@@ -44,6 +44,9 @@ def run_gep(
     resume: bool = False,
     max_iterations: int | None = None,
     on_iteration=None,
+    memory_budget_bytes: int | None = None,
+    spill_dir: str | None = None,
+    degrade_on_pressure: bool = False,
 ) -> tuple[np.ndarray, SolveReport | None]:
     """Run one GEP computation; returns ``(result, report_or_None)``.
 
@@ -51,11 +54,25 @@ def run_gep(
     GepSparkSolver` for the distributed-engine parameters.
     ``checkpoint_dir``/``resume``/``max_iterations``/``on_iteration``
     arm the durable write-ahead journal and crash-resume (spark engine
-    only).
+    only).  ``memory_budget_bytes``/``spill_dir`` attach the unified
+    memory governor to an owned context (spark engine only; pass a
+    pre-budgeted ``sc`` otherwise), and ``degrade_on_pressure`` arms
+    the solver's IM→CB fallback under critical pressure.
     """
     table = np.asarray(table)
     if engine != "spark" and (checkpoint_dir is not None or resume):
         raise ValueError("checkpoint_dir/resume require engine='spark'")
+    if engine != "spark" and (
+        memory_budget_bytes is not None or degrade_on_pressure
+    ):
+        raise ValueError(
+            "memory_budget_bytes/degrade_on_pressure require engine='spark'"
+        )
+    if sc is not None and memory_budget_bytes is not None:
+        raise ValueError(
+            "memory_budget_bytes applies to an owned context; construct the "
+            "SparkleContext with memory_budget_bytes instead"
+        )
     if engine == "reference":
         return gep_reference_vectorized(spec, table), None
 
@@ -84,7 +101,11 @@ def run_gep(
     if engine == "spark":
         owns_ctx = sc is None
         if owns_ctx:
-            sc = SparkleContext(checkpoint_dir=checkpoint_dir)
+            sc = SparkleContext(
+                checkpoint_dir=checkpoint_dir,
+                memory_budget_bytes=memory_budget_bytes,
+                spill_dir=spill_dir,
+            )
         elif checkpoint_dir is not None:
             sc.setCheckpointDir(checkpoint_dir)
         try:
@@ -108,6 +129,7 @@ def run_gep(
                 resume=resume,
                 max_iterations=max_iterations,
                 on_iteration=on_iteration,
+                degrade_on_pressure=degrade_on_pressure,
             )
             return solver.solve(table)
         finally:
@@ -138,6 +160,9 @@ class GepRunOptions(dict):
             "resume",
             "max_iterations",
             "on_iteration",
+            "memory_budget_bytes",
+            "spill_dir",
+            "degrade_on_pressure",
         }
     )
 

@@ -112,6 +112,17 @@ class SolveReport:
             return None
         return self.engine_metrics.recovery_summary()
 
+    @property
+    def memory(self) -> dict[str, Any] | None:
+        """Memory-governor counters (spill, pressure, admission waits).
+
+        All zeros / empty when the run was not memory-budgeted; ``None``
+        without an engine.
+        """
+        if self.engine_metrics is None:
+            return None
+        return self.engine_metrics.memory_summary()
+
     def summary(self) -> dict[str, Any]:
         out = {
             "spec": self.spec_name,
@@ -180,6 +191,18 @@ class GepSparkSolver:
         ``f(k)`` called after each completed outer iteration — progress
         reporting; for a journaled solve it runs *after* the journal
         commit for ``k``, which the crash-resume tests exploit.
+    degrade_on_pressure:
+        Graceful degradation under memory pressure: when the context's
+        memory governor touched ``critical`` pressure since the previous
+        outer-iteration boundary and the active strategy is ``im``,
+        switch the remaining iterations to ``cb`` — the paper's
+        recommended manual fallback
+        (IM stops scaling where CB survives), automated.  IM and CB are
+        bit-identical per iteration, so the degraded result is
+        bit-identical too; the switch is recorded on
+        ``report.extras["degraded"]`` and metered as
+        ``strategy_degradations``.  No-op without a memory governor or
+        for non-IM strategies.
 
     Durability protocol (when the context has a ``checkpoint_dir``): on
     every completed outer iteration the tile grid is snapshotted into
@@ -206,6 +229,7 @@ class GepSparkSolver:
         resume: bool = False,
         max_iterations: int | None = None,
         on_iteration: Callable[[int], None] | None = None,
+        degrade_on_pressure: bool = False,
     ) -> None:
         if strategy not in ("im", "cb", "bcast"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -221,6 +245,7 @@ class GepSparkSolver:
             )
         self.checkpoint_every = checkpoint_every
         self.resume = resume
+        self.degrade_on_pressure = degrade_on_pressure
         self.max_iterations = max_iterations
         self.on_iteration = on_iteration
         self.spec = spec
@@ -285,12 +310,37 @@ class GepSparkSolver:
         self._kept_snapshots = [resumed_from] if resumed_from is not None else []
         completed = 0
         partial = False
+        mm = getattr(self.sc, "memory_manager", None)
+        plan = self.sc.fault_plan
+        active_strategy = self.strategy
+        degraded_at: int | None = None
         for k in range(start_k, nt):
             if not active(k):
                 continue
-            if self.strategy == "im":
+            if mm is not None and plan is not None:
+                # Chaos: a seeded mid-solve budget shrink (the cluster
+                # losing memory headroom).  Driver-side and keyed only by
+                # the iteration, so the decision — and every pressure
+                # transition it causes — is deterministic per seed.
+                factor = plan.mem_squeeze(k)
+                if factor < 1.0:
+                    mm.squeeze(factor)
+            if (
+                self.degrade_on_pressure
+                and mm is not None
+                and active_strategy == "im"
+                and mm.critical_since_last_check()
+            ):
+                # Graceful degradation at the iteration boundary: finish
+                # the solve Collect-Broadcast style (bit-identical, but
+                # its working set lives in shared storage, which the
+                # governor deliberately does not budget — paper §IV-C).
+                active_strategy = "cb"
+                degraded_at = k
+                self.sc.metrics.strategy_degradations += 1
+            if active_strategy == "im":
                 dp = self._im_iteration(dp, k, bounds, nt, n)
-            elif self.strategy == "cb":
+            elif active_strategy == "cb":
                 dp = self._cb_iteration(dp, k, bounds, nt, n)
             else:
                 dp = self._bcast_iteration(dp, k, bounds, nt, n)
@@ -301,6 +351,14 @@ class GepSparkSolver:
                 dp = dp.checkpoint()
             if journal is not None:
                 dp = self._journal_iteration(journal, store, dp, k, nt)
+            elif self.degrade_on_pressure and mm is not None:
+                # The DP lineage is lazy: without the journal's
+                # per-iteration snapshot job nothing executes until the
+                # final collect, so the governor would never observe
+                # pressure at an iteration boundary.  Drain one probe
+                # job so iteration k's stages run now — stage reuse
+                # keeps this incremental, exactly like the journal path.
+                self.sc.run_job(dp, _drain_iterator, action="pressure_probe")
             if self.on_iteration is not None:
                 self.on_iteration(k)
             completed += 1
@@ -329,6 +387,14 @@ class GepSparkSolver:
             }
         if resumed_from is not None:
             report.extras["resumed_from_iteration"] = resumed_from
+        if degraded_at is not None:
+            report.extras["degraded"] = {
+                "from": "im",
+                "to": "cb",
+                "at_iteration": degraded_at,
+            }
+        if mm is not None:
+            report.extras["memory_budget"] = mm.usage()
         if self.sc.fault_plan is not None:
             report.extras["chaos"] = self.sc.fault_plan.describe()
             report.extras["faults_injected"] = self.sc.fault_plan.fired()
@@ -688,6 +754,14 @@ class GepSparkSolver:
         return self.sc.union(
             [untouched, a_block, bc_blocks, d_blocks]
         ).partitionBy(partitioner=part)
+
+
+def _drain_iterator(it) -> int:
+    """Materialize a partition (the degradation path's pressure probe)."""
+    n = 0
+    for _ in it:
+        n += 1
+    return n
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,16 @@ a write-ahead solve journal that the GEP drivers use for
 ``--resume``-able, bit-identical crash recovery; ``torn_write`` and
 ``corrupt_block`` chaos kinds exercise the layer under the same seeded
 determinism contract.
+
+Memory exhaustion — the paper's headline IM failure mode — is governed
+by :mod:`repro.sparkle.memory`: a context constructed with
+``memory_budget_bytes`` shares one byte budget between shuffle staging
+(execution) and the RDD cache (storage), spills overflow to a
+checksummed disk store instead of failing, queues task launches under
+pressure (admission control), and exposes ``ok``/``pressured``/
+``critical`` pressure levels that the GEP drivers can react to by
+degrading IM→CB mid-solve; the ``mem_squeeze`` chaos kind shrinks the
+budget mid-run under the seeded determinism contract.
 """
 
 from .broadcast import Broadcast
@@ -35,6 +45,7 @@ from .errors import (
     ExecutorLost,
     JobAborted,
     JournalError,
+    LastExecutorProtectedWarning,
     ResumeMismatchError,
     ShuffleFetchFailed,
     SparkleError,
@@ -42,6 +53,12 @@ from .errors import (
     TaskError,
     TaskKilled,
     TransientIOError,
+)
+from .memory import (
+    MemoryManager,
+    PRESSURE_CRITICAL,
+    PRESSURE_OK,
+    PRESSURE_PRESSURED,
 )
 from .metrics import EngineMetrics, JobTrace, StageRecord, TaskRecord
 from .partitioner import GridPartitioner, HashPartitioner, Partitioner, RangePartitioner
@@ -80,4 +97,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FAULT_KINDS",
+    "MemoryManager",
+    "PRESSURE_OK",
+    "PRESSURE_PRESSURED",
+    "PRESSURE_CRITICAL",
+    "LastExecutorProtectedWarning",
 ]

@@ -63,9 +63,12 @@ CURRENT_TASK: ContextVar = ContextVar("sparkle_current_task", default=None)
 #:                   and rewritten
 #: ``corrupt_block`` silent bitrot of a durable block *after* commit;
 #:                   undetected until a checksummed read or ``fsck``
+#: ``mem_squeeze``   the memory governor's budget shrinks at an outer-
+#:                   iteration boundary (the cluster losing headroom
+#:                   mid-solve); drives spill/backpressure/degradation
 FAULT_KINDS = (
     "kill", "lose", "slow", "storage", "bcast", "overflow",
-    "torn_write", "corrupt_block",
+    "torn_write", "corrupt_block", "mem_squeeze",
 )
 
 #: Modest everything-on mix used by ``FaultPlan.default`` / bare
@@ -82,6 +85,8 @@ DEFAULT_RATES = {
     # durability with a bare ``seed=N`` — opt in explicitly instead.
     "torn_write": 0.0,
     "corrupt_block": 0.0,
+    # Same reasoning: squeezes only bite when a memory budget is set.
+    "mem_squeeze": 0.0,
 }
 
 DEFAULT_STRAGGLER_DELAY = 0.05
@@ -258,6 +263,23 @@ class FaultPlan:
             self.note(kind)
             return True
         return False
+
+    def mem_squeeze(self, iteration: int) -> float:
+        """Budget shrink factor at an outer-iteration boundary.
+
+        Returns 1.0 (no squeeze) or a deterministic factor in
+        ``[0.4, 0.75)`` — the governor multiplies its budget by it.
+        Driver-side and keyed only by the iteration, so the squeeze
+        schedule (and everything downstream: spills, pressure
+        transitions, degradations) is a pure function of the seed.
+        """
+        if self._decide("mem_squeeze", 1, ("iter", iteration)):
+            self.note("mem_squeeze")
+            frac = deterministic_fraction(
+                self.seed, "mem_squeeze", ("factor", iteration)
+            )
+            return 0.4 + 0.35 * frac
+        return 1.0
 
     def durable_fault(self, kind: str, key, attempt: int) -> bool:
         """Durable-store fault (``torn_write``/``corrupt_block``).

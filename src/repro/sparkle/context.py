@@ -16,6 +16,9 @@ Example
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..util import sizeof_block
@@ -23,6 +26,7 @@ from .broadcast import Broadcast
 from .chaos import FaultPlan
 from .durable import DurableBlockStore
 from .executors import ExecutorPool
+from .memory import MemoryManager
 from .metrics import EngineMetrics
 from .rdd import RDD, ParallelCollectionRDD, UnionRDD
 from .scheduler import DAGScheduler
@@ -78,6 +82,19 @@ class SparkleContext:
         puts are written through to disk, and the GEP drivers journal
         iteration snapshots here for ``--resume``.  ``None`` keeps the
         historical all-in-memory behavior.
+    memory_budget_bytes:
+        Attach the unified memory governor (:class:`~repro.sparkle.
+        memory.MemoryManager`): RDD-cache puts and shuffle staging share
+        one byte budget, overflow spills to disk instead of raising
+        :class:`~repro.sparkle.errors.StorageCapacityError`, and task
+        launches queue when a working-set quantum does not fit
+        (scheduler backpressure).  ``None`` (the default) keeps the
+        ungoverned legacy engine, including its capacity failure modes.
+    spill_dir:
+        Directory for the spill store backing MEMORY_AND_DISK eviction
+        and shuffle spill.  Defaults to ``<checkpoint_dir>/spill`` when
+        a checkpoint dir is set, else a temporary directory removed in
+        :meth:`stop`.  Ignored without ``memory_budget_bytes``.
     """
 
     def __init__(
@@ -97,6 +114,8 @@ class SparkleContext:
         backoff_cap: float = 0.05,
         backoff_jitter: float = 0.5,
         checkpoint_dir: str | None = None,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | None = None,
     ) -> None:
         self.num_executors = num_executors
         self.cores_per_executor = cores_per_executor
@@ -110,15 +129,52 @@ class SparkleContext:
         self.metrics = EngineMetrics()
         self.failure_injector = failure_injector
         self.fault_plan = fault_plan
-        self._shuffle_manager = ShuffleManager(
-            shuffle_capacity_bytes, fault_plan=fault_plan
+        self._executors = ExecutorPool(
+            num_executors, cores_per_executor, metrics=self.metrics
         )
-        self._block_manager = BlockManager(cache_capacity_bytes)
+        self.memory_manager: MemoryManager | None = None
+        self.spill_store: DurableBlockStore | None = None
+        self._spill_tmpdir: str | None = None
+        if memory_budget_bytes is not None:
+            if memory_budget_bytes < 1:
+                raise ValueError("memory_budget_bytes must be >= 1")
+            self.memory_manager = MemoryManager(
+                memory_budget_bytes,
+                metrics=self.metrics,
+                task_quantum_bytes=max(
+                    1, memory_budget_bytes // (4 * self._executors.total_slots)
+                ),
+                executor_resolver=self._executors.executor_for,
+            )
+            if spill_dir is None:
+                if checkpoint_dir is not None:
+                    spill_dir = str(Path(checkpoint_dir) / "spill")
+                else:
+                    self._spill_tmpdir = tempfile.mkdtemp(prefix="sparkle-spill-")
+                    spill_dir = self._spill_tmpdir
+            # Spill blocks are recomputable from lineage, so the spill
+            # store skips fsyncs (sync=False) but keeps atomic renames
+            # and checksummed read-back verification.
+            self.spill_store = DurableBlockStore(
+                spill_dir, metrics=self.metrics, fault_plan=fault_plan, sync=False
+            )
+        self._shuffle_manager = ShuffleManager(
+            shuffle_capacity_bytes,
+            fault_plan=fault_plan,
+            memory=self.memory_manager,
+            spill=self.spill_store,
+            metrics=self.metrics,
+        )
+        self._block_manager = BlockManager(
+            cache_capacity_bytes,
+            memory=self.memory_manager,
+            spill=self.spill_store,
+            metrics=self.metrics,
+        )
         self.durable_store: DurableBlockStore | None = None
         self.shared_storage = SharedStorage(
             self.metrics, storage_capacity_bytes, fault_plan=fault_plan
         )
-        self._executors = ExecutorPool(num_executors, cores_per_executor)
         self._scheduler = DAGScheduler(
             self,
             max_task_retries,
@@ -199,6 +255,9 @@ class SparkleContext:
     def stop(self) -> None:
         if not self._stopped:
             self._executors.shutdown()
+            if self._spill_tmpdir is not None:
+                shutil.rmtree(self._spill_tmpdir, ignore_errors=True)
+                self._spill_tmpdir = None
             self._stopped = True
 
     def __enter__(self) -> "SparkleContext":

@@ -67,15 +67,22 @@ def _fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
-def _atomic_write(path: Path, data: bytes) -> None:
-    """Crash-atomic file write: tmp in the same dir, fsync, rename."""
+def _atomic_write(path: Path, data: bytes, sync: bool = True) -> None:
+    """Crash-atomic file write: tmp in the same dir, fsync, rename.
+
+    ``sync=False`` skips the fsyncs (the rename is still atomic): the
+    relaxed mode spill stores use, where blocks are recomputable from
+    lineage and durability across power loss buys nothing.
+    """
     tmp = path.with_name(f".tmp.{path.name}")
     with open(tmp, "wb") as fh:
         fh.write(data)
         fh.flush()
-        os.fsync(fh.fileno())
+        if sync:
+            os.fsync(fh.fileno())
     os.replace(tmp, path)
-    _fsync_dir(path.parent)
+    if sync:
+        _fsync_dir(path.parent)
 
 
 @dataclass
@@ -133,6 +140,12 @@ class DurableBlockStore:
     max_write_attempts:
         Read-back verification rewrites a torn block up to this many
         times before giving up with :class:`CorruptBlockError`.
+    sync:
+        ``False`` skips fsyncs on block/manifest writes (atomic renames
+        and checksummed reads are kept).  Spill stores use this: spilled
+        blocks are recomputable from lineage, so surviving power loss is
+        not worth an fsync per eviction.  Leave ``True`` for checkpoint/
+        journal stores, whose whole point is crash durability.
     """
 
     MANIFEST = "MANIFEST.json"
@@ -144,6 +157,7 @@ class DurableBlockStore:
         metrics=None,
         fault_plan=None,
         max_write_attempts: int = 3,
+        sync: bool = True,
     ) -> None:
         if max_write_attempts < 1:
             raise ValueError("max_write_attempts must be >= 1")
@@ -153,6 +167,7 @@ class DurableBlockStore:
         self._metrics = metrics
         self.fault_plan = fault_plan
         self.max_write_attempts = max_write_attempts
+        self.sync = sync
         self._lock = threading.Lock()
         self._manifest: dict[str, dict[str, Any]] = {}
         self._load_manifest()
@@ -183,7 +198,9 @@ class DurableBlockStore:
     def _commit_manifest_locked(self) -> None:
         doc = {"version": MANIFEST_VERSION, "blocks": self._manifest}
         _atomic_write(
-            self._manifest_path(), json.dumps(doc, sort_keys=True).encode()
+            self._manifest_path(),
+            json.dumps(doc, sort_keys=True).encode(),
+            sync=self.sync,
         )
 
     # ------------------------------------------------------------------
@@ -213,7 +230,7 @@ class DurableBlockStore:
             if plan is not None and plan.durable_fault("torn_write", key, attempt):
                 # Crash-consistency lie: only a prefix reaches the disk.
                 data = payload[: max(0, len(payload) // 2)]
-            _atomic_write(path, data)
+            _atomic_write(path, data, sync=self.sync)
             if _checksum(path.read_bytes()) == digest:
                 break
             if self._metrics is not None:
@@ -241,7 +258,7 @@ class DurableBlockStore:
             rotten = bytearray(payload)
             if rotten:
                 rotten[len(rotten) // 2] ^= 0xFF
-            _atomic_write(path, bytes(rotten))
+            _atomic_write(path, bytes(rotten), sync=self.sync)
         return len(payload)
 
     def _entry(self, key: Any) -> tuple[str, dict[str, Any]]:

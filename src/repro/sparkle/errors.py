@@ -15,6 +15,7 @@ __all__ = [
     "JournalError",
     "ResumeMismatchError",
     "JobAborted",
+    "LastExecutorProtectedWarning",
 ]
 
 
@@ -130,3 +131,13 @@ class ResumeMismatchError(JournalError):
 
 class JobAborted(SparkleError):
     """A job failed after exhausting task retries."""
+
+
+class LastExecutorProtectedWarning(RuntimeWarning):
+    """A blacklist request was refused to keep the last healthy executor.
+
+    The simulated cluster must keep at least one node able to run tasks;
+    refusing silently used to hide that a fault threshold was crossed on
+    the final survivor.  The refusal is also metered as
+    ``EngineMetrics.last_executor_protected``.
+    """

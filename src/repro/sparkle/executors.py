@@ -19,8 +19,11 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Any, Callable
+
+from .errors import LastExecutorProtectedWarning
 
 __all__ = ["ExecutorPool"]
 
@@ -28,12 +31,15 @@ __all__ = ["ExecutorPool"]
 class ExecutorPool:
     """Fixed pool of task slots spread over simulated executors."""
 
-    def __init__(self, num_executors: int, cores_per_executor: int) -> None:
+    def __init__(
+        self, num_executors: int, cores_per_executor: int, *, metrics=None
+    ) -> None:
         if num_executors < 1 or cores_per_executor < 1:
             raise ValueError("executors and cores must be >= 1")
         self.num_executors = num_executors
         self.cores_per_executor = cores_per_executor
         self.total_slots = num_executors * cores_per_executor
+        self._metrics = metrics
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
         self._blacklisted: set[int] = set()
@@ -59,7 +65,12 @@ class ExecutorPool:
         """Exclude an executor from placement; True if newly blacklisted.
 
         Refuses to blacklist the last healthy executor — the simulated
-        cluster must keep at least one node able to run tasks.
+        cluster must keep at least one node able to run tasks.  The
+        refusal is no longer silent: it emits a typed
+        :class:`~repro.sparkle.errors.LastExecutorProtectedWarning` and
+        is metered as ``EngineMetrics.last_executor_protected``, because
+        a fault threshold crossed on the last survivor is exactly the
+        signal an operator needs to see.
         """
         with self._lock:
             if executor in self._blacklisted:
@@ -67,6 +78,14 @@ class ExecutorPool:
             if not 0 <= executor < self.num_executors:
                 raise ValueError(f"no such executor {executor}")
             if len(self._healthy) <= 1:
+                if self._metrics is not None:
+                    self._metrics.last_executor_protected += 1
+                warnings.warn(
+                    f"refusing to blacklist executor {executor}: it is the "
+                    f"last healthy executor of {self.num_executors}",
+                    LastExecutorProtectedWarning,
+                    stacklevel=2,
+                )
                 return False
             self._blacklisted.add(executor)
             self._healthy = tuple(
@@ -128,7 +147,14 @@ class ExecutorPool:
         return out, time.perf_counter() - start
 
     def shutdown(self) -> None:
+        """Tear the pool down without waiting on queued stragglers.
+
+        ``cancel_futures=True`` cancels every task that has not started
+        yet, so a hung or slow straggler deep in the queue cannot block
+        engine teardown forever; tasks already running are still joined
+        (they may be mutating shared shuffle state).
+        """
         with self._lock:
             if self._pool is not None:
-                self._pool.shutdown(wait=True)
+                self._pool.shutdown(wait=True, cancel_futures=True)
                 self._pool = None

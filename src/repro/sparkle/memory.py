@@ -1,0 +1,315 @@
+"""Unified memory governor: byte-accounted execution/storage budgeting.
+
+The paper's headline failure mode (§IV-C, §V) is memory exhaustion: the
+In-Memory strategy materializes up to three copies of every tile through
+its wide transformations and stops scaling once that working set
+outgrows executor memory, while Collect-Broadcast survives by staging
+pivot tiles in shared storage.  Before this module the engine reproduced
+the *failure* faithfully — the block cache silently dropped blocks and
+shuffle staging raised :class:`~repro.sparkle.errors.
+StorageCapacityError`.  :class:`MemoryManager` is the third leg of the
+robustness story: a Spark-style unified memory manager that lets a
+budgeted run *complete*, via spill-to-disk and scheduler backpressure,
+bit-identical to an unbudgeted one.
+
+Design (mirroring Spark's ``UnifiedMemoryManager``):
+
+* one byte budget is shared by two pools — **execution** (shuffle
+  staging buffers) and **storage** (cached RDD partitions) — with
+  per-owner ledgers (simulated executor id, or ``"driver"``) so reports
+  can attribute pressure;
+* :meth:`reserve` / :meth:`release` are the only accounting mutations;
+  a failed reserve never blocks — the caller reacts by spilling
+  (:class:`~.storage.BlockManager`, :class:`~.shuffle.ShuffleManager`)
+  or queueing (the scheduler's admission control);
+* **deadlock-free grants**: :meth:`admit_task` always grants a task's
+  first reservation — when no other task holds admission memory the
+  grant succeeds regardless of the budget, so at least one task is
+  always runnable and every queued task eventually wakes;
+* three **pressure levels** — ``ok`` / ``pressured`` / ``critical`` —
+  derived from live/budget occupancy; every level change is appended to
+  ``EngineMetrics.pressure_transitions`` (a deterministic trace under
+  the chaos plane's serialized-task contract);
+* the budget can shrink mid-run (:meth:`squeeze`) — the ``mem_squeeze``
+  chaos kind uses this to model a cluster losing memory headroom under
+  the seeded-determinism contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from .chaos import CURRENT_TASK
+
+__all__ = [
+    "MemoryManager",
+    "PRESSURE_OK",
+    "PRESSURE_PRESSURED",
+    "PRESSURE_CRITICAL",
+]
+
+PRESSURE_OK = "ok"
+PRESSURE_PRESSURED = "pressured"
+PRESSURE_CRITICAL = "critical"
+
+#: Pool names accepted by :meth:`MemoryManager.reserve` / ``release``.
+POOLS = ("execution", "storage")
+
+DRIVER_OWNER = "driver"
+
+
+class MemoryManager:
+    """Byte-accounted execution/storage budget for one simulated cluster.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Total bytes shared by the execution and storage pools (the
+        simulated cluster's aggregate usable memory).
+    metrics:
+        Optional :class:`~.metrics.EngineMetrics`; pressure transitions,
+        admission waits, squeezes and forced grants are recorded there.
+    task_quantum_bytes:
+        Nominal execution reservation charged per admitted task (the
+        scheduler's backpressure unit).  Defaults to ``budget // 8``.
+    pressured_at / critical_at:
+        Occupancy fractions at which pressure escalates.
+    executor_resolver:
+        ``f(partition) -> executor`` used to attribute task-side
+        reservations to a simulated executor (the pool's
+        ``executor_for``); without it task-side owners fall back to the
+        partition id.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        *,
+        metrics=None,
+        task_quantum_bytes: int | None = None,
+        pressured_at: float = 0.70,
+        critical_at: float = 0.90,
+        executor_resolver: Callable[[int], int] | None = None,
+    ) -> None:
+        if budget_bytes < 1:
+            raise ValueError("budget_bytes must be >= 1")
+        if not 0.0 < pressured_at <= critical_at <= 1.0:
+            raise ValueError("require 0 < pressured_at <= critical_at <= 1")
+        self.initial_budget_bytes = int(budget_bytes)
+        self.budget_bytes = int(budget_bytes)
+        self.pressured_at = pressured_at
+        self.critical_at = critical_at
+        self.task_quantum_bytes = (
+            int(task_quantum_bytes)
+            if task_quantum_bytes is not None
+            else max(1, budget_bytes // 8)
+        )
+        if self.task_quantum_bytes < 1:
+            raise ValueError("task_quantum_bytes must be >= 1")
+        self.executor_resolver = executor_resolver
+        self._metrics = metrics
+        self._cond = threading.Condition()
+        # pool -> owner -> bytes
+        self._ledger: dict[str, dict[Any, int]] = {p: {} for p in POOLS}
+        self._pool_live: dict[str, int] = {p: 0 for p in POOLS}
+        self._live = 0
+        self._admitted_tasks = 0
+        self._level = PRESSURE_OK
+        self._critical_seen = False
+
+    # ------------------------------------------------------------------
+    # owner attribution
+    # ------------------------------------------------------------------
+    def current_owner(self) -> Any:
+        """Executor owning the calling thread's task (driver otherwise)."""
+        task = CURRENT_TASK.get()
+        if task is None:
+            return DRIVER_OWNER
+        if self.executor_resolver is not None:
+            return self.executor_resolver(task.partition)
+        return task.partition
+
+    # ------------------------------------------------------------------
+    # reserve / release
+    # ------------------------------------------------------------------
+    def reserve(
+        self, pool: str, owner: Any, nbytes: int, *, force: bool = False
+    ) -> bool:
+        """Try to account ``nbytes`` against the budget; never blocks.
+
+        Returns False when the bytes do not fit (the caller's cue to
+        spill or queue).  ``force=True`` grants unconditionally — the
+        deadlock-freedom escape hatch for first reservations, metered as
+        ``forced_grants`` when it actually oversubscribes.
+        """
+        if pool not in POOLS:
+            raise ValueError(f"unknown memory pool {pool!r}")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        with self._cond:
+            fits = self._live + nbytes <= self.budget_bytes
+            if not fits and not force:
+                return False
+            if not fits and self._metrics is not None:
+                self._metrics.forced_grants += 1
+            self._account_locked(pool, owner, nbytes)
+            return True
+
+    def release(self, pool: str, owner: Any, nbytes: int) -> None:
+        """Return ``nbytes`` to the budget; wakes queued admissions."""
+        if pool not in POOLS:
+            raise ValueError(f"unknown memory pool {pool!r}")
+        with self._cond:
+            self._account_locked(pool, owner, -nbytes)
+            self._cond.notify_all()
+
+    def _account_locked(self, pool: str, owner: Any, delta: int) -> None:
+        ledger = self._ledger[pool]
+        held = ledger.get(owner, 0) + delta
+        if held < 0:
+            # Over-release is an accounting bug; clamp rather than let a
+            # negative ledger mask real pressure.
+            delta -= held
+            held = 0
+        if held == 0:
+            ledger.pop(owner, None)
+        else:
+            ledger[owner] = held
+        self._pool_live[pool] += delta
+        self._live += delta
+        self._update_level_locked()
+
+    # ------------------------------------------------------------------
+    # pressure
+    # ------------------------------------------------------------------
+    def _update_level_locked(self) -> None:
+        ratio = self._live / self.budget_bytes
+        if ratio >= self.critical_at:
+            level = PRESSURE_CRITICAL
+        elif ratio >= self.pressured_at:
+            level = PRESSURE_PRESSURED
+        else:
+            level = PRESSURE_OK
+        if level != self._level:
+            if self._metrics is not None:
+                self._metrics.pressure_transitions.append(
+                    f"{self._level}->{level}"
+                )
+            self._level = level
+        if level == PRESSURE_CRITICAL:
+            self._critical_seen = True
+
+    def pressure(self) -> str:
+        """Current level: ``ok`` / ``pressured`` / ``critical``."""
+        with self._cond:
+            return self._level
+
+    def critical_since_last_check(self) -> bool:
+        """True if pressure touched ``critical`` since the last call.
+
+        Pressure is spiky: under a tight budget every reservation that
+        triggers spilling rides the occupancy up to critical and back
+        down, so a point-in-time :meth:`pressure` probe at an iteration
+        boundary can miss the episode entirely.  This latch is what the
+        solver's degradation check polls — it clears on read.
+        """
+        with self._cond:
+            seen = self._critical_seen or self._level == PRESSURE_CRITICAL
+            self._critical_seen = False
+            return seen
+
+    # ------------------------------------------------------------------
+    # scheduler admission control
+    # ------------------------------------------------------------------
+    def admit_task(self, owner: Any = "tasks") -> int:
+        """Block until a task-admission quantum fits; returns the grant.
+
+        Deadlock-free by construction: when no other task is admitted
+        the grant is forced (a task's first reservation always
+        succeeds), so at least one task always runs, finishes, and
+        releases — every waiter eventually wakes.  Wait time and count
+        are metered (``admission_waits`` / ``admission_wait_seconds``).
+        """
+        quantum = self.task_quantum_bytes
+        waited = False
+        start = 0.0
+        with self._cond:
+            while True:
+                first = self._admitted_tasks == 0
+                if first or self._live + quantum <= self.budget_bytes:
+                    break
+                if not waited:
+                    waited = True
+                    start = time.perf_counter()
+                    if self._metrics is not None:
+                        self._metrics.admission_waits += 1
+                self._cond.wait(timeout=0.05)
+            if waited and self._metrics is not None:
+                self._metrics.admission_wait_seconds += (
+                    time.perf_counter() - start
+                )
+            self._admitted_tasks += 1
+            self._account_locked("execution", owner, quantum)
+            return quantum
+
+    def finish_task(self, grant: int, owner: Any = "tasks") -> None:
+        """Release an admission grant from :meth:`admit_task`."""
+        with self._cond:
+            self._admitted_tasks -= 1
+            self._account_locked("execution", owner, -grant)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # chaos: budget squeeze
+    # ------------------------------------------------------------------
+    def squeeze(self, factor: float) -> int:
+        """Shrink the budget to ``factor`` of its current value.
+
+        Used by the ``mem_squeeze`` chaos kind; the budget never drops
+        below one task quantum so admission stays live.  Returns the new
+        budget and re-derives the pressure level (which may transition).
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("squeeze factor must be in (0, 1]")
+        with self._cond:
+            floor = self.task_quantum_bytes
+            self.budget_bytes = max(floor, int(self.budget_bytes * factor))
+            if self._metrics is not None:
+                self._metrics.mem_squeezes += 1
+            self._update_level_locked()
+            self._cond.notify_all()
+            return self.budget_bytes
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_bytes(self) -> int:
+        with self._cond:
+            return self._live
+
+    def usage(self) -> dict[str, Any]:
+        """Snapshot for reports: budget, pools, per-owner ledgers."""
+        with self._cond:
+            return {
+                "budget_bytes": self.budget_bytes,
+                "initial_budget_bytes": self.initial_budget_bytes,
+                "live_bytes": self._live,
+                "level": self._level,
+                "execution_bytes": self._pool_live["execution"],
+                "storage_bytes": self._pool_live["storage"],
+                "by_owner": {
+                    pool: dict(ledger)
+                    for pool, ledger in self._ledger.items()
+                },
+                "admitted_tasks": self._admitted_tasks,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        u = self.usage()
+        return (
+            f"MemoryManager({u['live_bytes']}/{u['budget_bytes']} B, "
+            f"{u['level']})"
+        )

@@ -138,6 +138,33 @@ class EngineMetrics:
     journal_entries_replayed: int = 0
     #: outer iteration a resumed solve restarted *after* (None = fresh)
     resumed_from_iteration: int | None = None
+    # ---- memory governor counters (unified budget / spill) ------------
+    #: bytes written to the spill store (cache blocks + shuffle buckets)
+    spill_bytes_written: int = 0
+    #: bytes read back from the spill store
+    spill_bytes_read: int = 0
+    #: cached RDD partitions evicted to disk instead of dropped
+    blocks_spilled: int = 0
+    #: staged shuffle map outputs moved to disk under memory pressure
+    shuffle_blocks_spilled: int = 0
+    #: successful reads served from spilled blocks
+    spill_reads: int = 0
+    #: task launches the scheduler queued because a reservation failed
+    admission_waits: int = 0
+    admission_wait_seconds: float = 0.0
+    #: pressure-level changes in order, e.g. ``["ok->pressured", ...]``
+    #: (deterministic per chaos seed under serialized tasks)
+    pressure_transitions: list[str] = field(default_factory=list)
+    #: ``mem_squeeze`` chaos injections applied to the budget
+    mem_squeezes: int = 0
+    #: IM→CB strategy switches taken under critical pressure
+    strategy_degradations: int = 0
+    #: reservations granted past the budget (deadlock-freedom escape)
+    forced_grants: int = 0
+    #: blacklist refusals that protected the last healthy executor
+    last_executor_protected: int = 0
+    #: aborted shuffle-map stages whose partial outputs were reclaimed
+    shuffle_partial_cleanups: int = 0
 
     def new_job(self, action: str) -> JobTrace:
         trace = JobTrace(job_id=len(self.jobs), action=action)
@@ -186,6 +213,24 @@ class EngineMetrics:
             "corrupt_blocks_detected": self.corrupt_blocks_detected,
             "checkpoint_recomputes": self.checkpoint_recomputes,
             "storage_backing_reads": self.storage_backing_reads,
+            "last_executor_protected": self.last_executor_protected,
+        }
+
+    def memory_summary(self) -> dict[str, Any]:
+        """Memory-governor accounting for one run (spill/pressure view)."""
+        return {
+            "spill_bytes_written": self.spill_bytes_written,
+            "spill_bytes_read": self.spill_bytes_read,
+            "blocks_spilled": self.blocks_spilled,
+            "shuffle_blocks_spilled": self.shuffle_blocks_spilled,
+            "spill_reads": self.spill_reads,
+            "admission_waits": self.admission_waits,
+            "admission_wait_seconds": round(self.admission_wait_seconds, 6),
+            "pressure_transitions": list(self.pressure_transitions),
+            "mem_squeezes": self.mem_squeezes,
+            "strategy_degradations": self.strategy_degradations,
+            "forced_grants": self.forced_grants,
+            "shuffle_partial_cleanups": self.shuffle_partial_cleanups,
         }
 
     def durability_summary(self) -> dict[str, Any]:
@@ -215,4 +260,5 @@ class EngineMetrics:
         }
         out.update(self.recovery_summary())
         out.update(self.durability_summary())
+        out.update(self.memory_summary())
         return out

@@ -128,6 +128,7 @@ class RDD:
         self.id = ctx._new_rdd_id()
         self.partitioner: Partitioner | None = None
         self._cached = False
+        self._storage_level = "MEMORY_AND_DISK"
 
     # -- subclass surface ------------------------------------------------
     def num_partitions(self) -> int:
@@ -144,17 +145,35 @@ class RDD:
             if cached is not None:
                 return iter(cached)
             data = list(self.compute(split, task))
-            blocks.put(self.id, split, data)
+            blocks.put(self.id, split, data, level=self._storage_level)
             return iter(data)
         return self.compute(split, task)
 
     # -- caching ----------------------------------------------------------
-    def cache(self) -> "RDD":
-        """Keep computed partitions in memory (Spark's MEMORY_ONLY)."""
+    def persist(self, storage_level: str = "MEMORY_AND_DISK") -> "RDD":
+        """Keep computed partitions across jobs at ``storage_level``.
+
+        ``MEMORY_AND_DISK`` (the default, and Spark's recommended level
+        for iterative workloads) lets a governed
+        :class:`~repro.sparkle.storage.BlockManager` spill evicted
+        partitions to disk instead of discarding them;
+        ``MEMORY_ONLY`` opts out of the disk hop — eviction drops the
+        block and it is recomputed from lineage.  Without a memory
+        governor the level is recorded but both behave like the
+        historical in-memory cache.
+        """
+        if storage_level not in ("MEMORY_ONLY", "MEMORY_AND_DISK"):
+            raise ValueError(
+                f"unsupported storage level {storage_level!r}; "
+                "use MEMORY_ONLY or MEMORY_AND_DISK"
+            )
         self._cached = True
+        self._storage_level = storage_level
         return self
 
-    persist = cache
+    def cache(self) -> "RDD":
+        """Keep computed partitions across jobs (``persist()`` default)."""
+        return self.persist()
 
     def unpersist(self) -> "RDD":
         self._cached = False

@@ -196,7 +196,29 @@ class DAGScheduler:
     def _run_tasks(self, thunks: list[Callable[[], Any]]) -> list[Any]:
         plan = self.ctx.fault_plan
         sequential = plan is not None and plan.serialize_tasks
+        mm = getattr(self.ctx, "memory_manager", None)
+        if mm is not None:
+            thunks = [self._admitted(t, mm) for t in thunks]
         return self.ctx._executors.run_tasks(thunks, sequential=sequential)
+
+    @staticmethod
+    def _admitted(thunk: Callable[[], Any], mm) -> Callable[[], Any]:
+        """Gate a task launch behind the memory governor (backpressure).
+
+        A task slot blocks in :meth:`~repro.sparkle.memory.MemoryManager.
+        admit_task` until a working-set quantum fits in the budget — except
+        that the *first* task is always admitted, which guarantees forward
+        progress (it runs, releases its bytes, and wakes the queue).
+        """
+
+        def gated() -> Any:
+            grant = mm.admit_task()
+            try:
+                return thunk()
+            finally:
+                mm.finish_task(grant)
+
+        return gated
 
     def _shuffle_materialized(self, stage: Stage) -> bool:
         dep = stage.shuffle_dep
@@ -228,7 +250,16 @@ class DAGScheduler:
 
             return task
 
-        record.tasks = self._run_tasks([make_task(p) for p in pending])
+        try:
+            record.tasks = self._run_tasks([make_task(p) for p in pending])
+        except BaseException:
+            # Stage abort: tasks that already staged map output for this
+            # shuffle would otherwise leak staged bytes (and hold governor
+            # reservations) forever — nobody will ever fetch a partially
+            # materialized shuffle.  Drop everything this shuffle staged.
+            sm.release(dep.shuffle_id)
+            self.ctx.metrics.shuffle_partial_cleanups += 1
+            raise
         trace.stages.append(record)
 
     def _shuffle_map_task(

@@ -11,6 +11,18 @@ optional per-context capacity models the SSD-size failure mode: exceeding
 it raises :class:`~repro.sparkle.errors.StorageCapacityError`, mirroring
 the execution failures the paper reports for large IM configurations.
 
+With a :class:`~repro.sparkle.memory.MemoryManager` and a spill store
+attached (a context constructed with ``memory_budget_bytes``), that
+failure mode disappears: staged buckets reserve execution bytes against
+the unified budget, and when a reservation fails the *oldest* staged
+outputs are spilled to disk (checksummed, crash-atomic — the
+:class:`~repro.sparkle.durable.DurableBlockStore` machinery) instead of
+the write erroring out.  Reducers transparently read spilled outputs
+back; a spilled block that fails its checksum is treated as a missing
+map output (:class:`~repro.sparkle.errors.ShuffleFetchFailed`) and
+recomputed from lineage — corruption degrades to recomputation, never to
+wrong data.
+
 Fault tolerance: a reducer that finds map outputs missing raises
 :class:`~repro.sparkle.errors.ShuffleFetchFailed` naming exactly the
 missing partitions, and the scheduler recomputes them from lineage —
@@ -27,7 +39,13 @@ import threading
 from typing import Any, Callable
 
 from ..util import sizeof_block
-from .errors import ShuffleFetchFailed, StorageCapacityError, TransientIOError
+from .errors import (
+    CorruptBlockError,
+    BlockNotFoundError,
+    ShuffleFetchFailed,
+    StorageCapacityError,
+    TransientIOError,
+)
 
 __all__ = ["ShuffleManager"]
 
@@ -38,15 +56,30 @@ def _pair_size(item: tuple[Any, Any]) -> int:
 
 
 class ShuffleManager:
-    """In-memory shuffle store with byte accounting and spill capacity."""
+    """In-memory shuffle store with byte accounting and spill-to-disk."""
 
-    def __init__(self, capacity_bytes: int | None = None, fault_plan=None) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        fault_plan=None,
+        *,
+        memory=None,
+        spill=None,
+        metrics=None,
+    ) -> None:
         self.capacity_bytes = capacity_bytes
         self.fault_plan = fault_plan
+        self.memory = memory
+        self.spill = spill
+        self._metrics = metrics
         self._lock = threading.Lock()
         # (shuffle_id, map_partition) -> {reduce_partition: [items]}
         self._outputs: dict[tuple[int, int], dict[int, list]] = {}
         self._output_bytes: dict[tuple[int, int], int] = {}
+        # keys whose buckets live in the spill store, not memory
+        self._spilled: set[tuple[int, int]] = set()
+        self._spilled_bytes: dict[tuple[int, int], int] = {}
+        self._owners: dict[tuple[int, int], Any] = {}
         self._bytes_by_shuffle: dict[int, int] = {}
         self._next_shuffle_id = 0
         self.total_bytes_written = 0
@@ -61,8 +94,13 @@ class ShuffleManager:
             return sid
 
     def live_bytes(self) -> int:
+        """In-memory staged bytes (spilled outputs live on disk)."""
         with self._lock:
             return sum(self._bytes_by_shuffle.values())
+
+    @staticmethod
+    def _spill_block_key(key: tuple[int, int]) -> tuple:
+        return ("shuffle", key[0], key[1])
 
     # ------------------------------------------------------------------
     def write(
@@ -82,6 +120,10 @@ class ShuffleManager:
         nbytes = sum(_pair_size(item) for items in buckets.values() for item in items)
         key = (shuffle_id, map_partition)
         with self._lock:
+            if self.memory is not None:
+                self._write_governed_locked(key, buckets, nbytes)
+                self.total_bytes_written += nbytes
+                return nbytes
             if self.capacity_bytes is not None:
                 live = sum(self._bytes_by_shuffle.values()) - self._output_bytes.get(key, 0)
                 if live + nbytes > self.capacity_bytes:
@@ -99,6 +141,92 @@ class ShuffleManager:
             )
             self.total_bytes_written += nbytes
         return nbytes
+
+    def _write_governed_locked(
+        self, key: tuple[int, int], buckets: dict[int, list], nbytes: int
+    ) -> None:
+        """Reserve-then-stage; spill oldest staged outputs until it fits."""
+        mm = self.memory
+        owner = mm.current_owner()
+        self._discard_locked(key)  # idempotent overwrite of retried stages
+        reserved = mm.reserve("execution", owner, nbytes)
+        while not reserved and self._outputs:
+            self._spill_oldest_locked()
+            reserved = mm.reserve("execution", owner, nbytes)
+        if not reserved:
+            # Nothing left to spill and still no room for this one output.
+            if self.spill is not None:
+                # Disk-only staging: the write itself goes straight to disk.
+                self._spill_buckets_locked(key, buckets, nbytes)
+                return
+            # No spill store: first-reservation rule — grant past the
+            # budget rather than deadlock or fail the stage.
+            mm.reserve("execution", owner, nbytes, force=True)
+        self._outputs[key] = buckets
+        self._output_bytes[key] = nbytes
+        self._owners[key] = owner
+        self._bytes_by_shuffle[key[0]] = (
+            self._bytes_by_shuffle.get(key[0], 0) + nbytes
+        )
+
+    def _spill_oldest_locked(self) -> None:
+        """Move the oldest in-memory staged output to the spill store."""
+        victim = next(iter(self._outputs))
+        buckets = self._outputs.pop(victim)
+        nbytes = self._output_bytes.pop(victim)
+        owner = self._owners.pop(victim, None)
+        self._bytes_by_shuffle[victim[0]] = (
+            self._bytes_by_shuffle.get(victim[0], 0) - nbytes
+        )
+        self.memory.release("execution", owner, nbytes)
+        if self.spill is not None:
+            self._spill_buckets_locked(victim, buckets, nbytes)
+        # Without a spill store the output is simply dropped: consumers
+        # hit ShuffleFetchFailed and recompute it from lineage.
+
+    def _spill_buckets_locked(
+        self, key: tuple[int, int], buckets: dict[int, list], nbytes: int
+    ) -> None:
+        self.spill.put(self._spill_block_key(key), buckets)
+        self._spilled.add(key)
+        self._spilled_bytes[key] = nbytes
+        if self._metrics is not None:
+            self._metrics.shuffle_blocks_spilled += 1
+            self._metrics.spill_bytes_written += nbytes
+
+    def _discard_locked(self, key: tuple[int, int], drop_spill_file: bool = True) -> None:
+        """Forget a staged output (memory accounting + spill bookkeeping)."""
+        if key in self._outputs:
+            stale = self._output_bytes.pop(key, 0)
+            del self._outputs[key]
+            self._bytes_by_shuffle[key[0]] = (
+                self._bytes_by_shuffle.get(key[0], 0) - stale
+            )
+            owner = self._owners.pop(key, None)
+            if self.memory is not None and stale:
+                self.memory.release("execution", owner, stale)
+        if key in self._spilled:
+            self._spilled.discard(key)
+            self._spilled_bytes.pop(key, None)
+            if drop_spill_file and self.spill is not None:
+                self.spill.delete(self._spill_block_key(key))
+
+    def _fetch_one_locked(self, key: tuple[int, int]) -> dict[int, list]:
+        """One map output's buckets, reading back from spill if needed."""
+        got = self._outputs.get(key)
+        if got is not None:
+            return got
+        try:
+            buckets = self.spill.get(self._spill_block_key(key))
+        except (CorruptBlockError, BlockNotFoundError):
+            # A corrupted spill block is never served: treat it as a
+            # missing map output so the scheduler recomputes from lineage.
+            self._discard_locked(key)
+            raise ShuffleFetchFailed(key[0], (key[1],)) from None
+        if self._metrics is not None:
+            self._metrics.spill_reads += 1
+            self._metrics.spill_bytes_read += self._spilled_bytes.get(key, 0)
+        return buckets
 
     def fetch(
         self,
@@ -124,11 +252,12 @@ class ShuffleManager:
                 mp
                 for mp in range(num_map_partitions)
                 if (shuffle_id, mp) not in self._outputs
+                and (shuffle_id, mp) not in self._spilled
             )
             if missing:
                 raise ShuffleFetchFailed(shuffle_id, missing)
             for mp in range(num_map_partitions):
-                buckets = self._outputs[(shuffle_id, mp)]
+                buckets = self._fetch_one_locked((shuffle_id, mp))
                 chunk = buckets.get(reduce_partition, ())
                 items.extend(chunk)
                 if remote_map_partition is not None and remote_map_partition(mp):
@@ -138,13 +267,24 @@ class ShuffleManager:
             self.total_bytes_read += nbytes
         return items, nbytes, remote
 
-    def release(self, shuffle_id: int) -> None:
-        """Drop a shuffle's staged data (job finished)."""
+    def release(self, shuffle_id: int) -> int:
+        """Drop a shuffle's staged data (job finished or stage aborted).
+
+        Returns the in-memory bytes reclaimed; spilled blocks for the
+        shuffle are deleted from the spill store as well.
+        """
         with self._lock:
-            for key in [k for k in self._outputs if k[0] == shuffle_id]:
-                del self._outputs[key]
-                self._output_bytes.pop(key, None)
+            freed = 0
+            keys = [
+                k
+                for k in set(self._outputs) | self._spilled
+                if k[0] == shuffle_id
+            ]
+            for key in keys:
+                freed += self._output_bytes.get(key, 0)
+                self._discard_locked(key)
             self._bytes_by_shuffle.pop(shuffle_id, None)
+            return freed
 
     def drop_executor_outputs(
         self, owns_map_partition: Callable[[int], bool]
@@ -155,17 +295,25 @@ class ShuffleManager:
         pool's ``executor_for``).  Returns the dropped
         ``(shuffle_id, map_partition)`` keys; consumers of those outputs
         will hit :class:`~repro.sparkle.errors.ShuffleFetchFailed` and
-        force lineage recomputation.
+        force lineage recomputation.  Spilled outputs die with their
+        executor too — the paper's local-SSD staging is per-node.
         """
         with self._lock:
-            victims = [k for k in self._outputs if owns_map_partition(k[1])]
+            victims = [
+                k
+                for k in set(self._outputs) | self._spilled
+                if owns_map_partition(k[1])
+            ]
             for key in victims:
-                del self._outputs[key]
-                nbytes = self._output_bytes.pop(key, 0)
-                if key[0] in self._bytes_by_shuffle:
-                    self._bytes_by_shuffle[key[0]] -= nbytes
+                self._discard_locked(key)
             return victims
 
     def has_output(self, shuffle_id: int, map_partition: int) -> bool:
         with self._lock:
-            return (shuffle_id, map_partition) in self._outputs
+            key = (shuffle_id, map_partition)
+            return key in self._outputs or key in self._spilled
+
+    @property
+    def num_spilled(self) -> int:
+        with self._lock:
+            return len(self._spilled)

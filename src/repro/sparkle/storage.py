@@ -20,33 +20,75 @@ import threading
 from typing import Any
 
 from ..util import sizeof_block
-from .errors import BlockNotFoundError, StorageCapacityError, TransientIOError
+from .errors import (
+    BlockNotFoundError,
+    CorruptBlockError,
+    StorageCapacityError,
+    TransientIOError,
+)
 
 __all__ = ["BlockManager", "SharedStorage"]
 
 
 class BlockManager:
-    """In-memory cache of computed RDD partitions (Spark's MEMORY_ONLY).
+    """In-memory cache of computed RDD partitions.
 
-    An optional byte capacity turns it into an LRU cache: when full, the
-    least-recently-used cached partition is dropped.  That is safe — a
-    dropped block is simply recomputed from lineage on next access,
-    Spark's eviction semantics — and is exercised by the engine tests.
+    Without a :class:`~repro.sparkle.memory.MemoryManager` this is the
+    historical LRU cache (Spark's MEMORY_ONLY): an optional byte
+    capacity drops the least-recently-used partition when full, which is
+    safe — a dropped block is simply recomputed from lineage on next
+    access.
+
+    With a governor (``memory``) and a spill store (``spill``, a
+    :class:`~repro.sparkle.durable.DurableBlockStore`), puts reserve
+    storage bytes against the unified budget and eviction becomes
+    MEMORY_AND_DISK: victims are written to the spill store (crash-
+    atomic, checksummed) instead of discarded, and a memory miss falls
+    back to a verifying disk read.  A spilled block that fails its
+    checksum is *never* served — it is dropped and the caller recomputes
+    from lineage, metered as ``corrupt_blocks_detected``.  Blocks
+    persisted MEMORY_ONLY opt out of the disk hop and evict by dropping.
     """
 
-    def __init__(self, capacity_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int | None = None,
+        *,
+        memory=None,
+        spill=None,
+        metrics=None,
+    ) -> None:
         from collections import OrderedDict
 
         self._blocks: "OrderedDict[tuple[int, int], list]" = OrderedDict()
         self._bytes: dict[tuple[int, int], int] = {}
+        self._levels: dict[tuple[int, int], str] = {}
+        self._owners: dict[tuple[int, int], Any] = {}
+        self._spilled: set[tuple[int, int]] = set()
         self._live_bytes = 0
         self._lock = threading.Lock()
         self.capacity_bytes = capacity_bytes
+        self.memory = memory
+        self.spill = spill
+        self._metrics = metrics
         self.evictions = 0
 
-    def put(self, rdd_id: int, partition: int, items: list) -> None:
+    @staticmethod
+    def _spill_key(key: tuple[int, int]) -> tuple:
+        return ("cache", key[0], key[1])
+
+    def put(
+        self,
+        rdd_id: int,
+        partition: int,
+        items: list,
+        level: str = "MEMORY_AND_DISK",
+    ) -> None:
         key = (rdd_id, partition)
         nbytes = sum(sizeof_block(x) for x in items)
+        if self.memory is not None:
+            self._put_governed(key, items, nbytes, level)
+            return
         with self._lock:
             if (
                 self.capacity_bytes is not None
@@ -63,23 +105,97 @@ class BlockManager:
                     self._live_bytes -= self._bytes.pop(victim)
                     self.evictions += 1
 
+    def _put_governed(
+        self, key: tuple[int, int], items: list, nbytes: int, level: str
+    ) -> None:
+        """Reserve-then-cache; evict-to-disk until the reservation fits."""
+        mm = self.memory
+        owner = mm.current_owner()
+        with self._lock:
+            if key in self._blocks:  # idempotent re-put: refresh in place
+                self._drop_locked(key)
+            self._spilled.discard(key)
+            reserved = mm.reserve("storage", owner, nbytes)
+            while not reserved and self._blocks:
+                self._evict_one_locked()
+                reserved = mm.reserve("storage", owner, nbytes)
+            if reserved:
+                self._blocks[key] = items
+                self._bytes[key] = nbytes
+                self._levels[key] = level
+                self._owners[key] = owner
+                self._live_bytes += nbytes
+                return
+        # No memory even with an empty cache: disk-only residency.
+        if self.spill is not None and level == "MEMORY_AND_DISK":
+            self._spill_items(key, items, nbytes)
+
+    def _evict_one_locked(self) -> None:
+        """Evict the LRU block — to the spill store when its level allows."""
+        victim, items = self._blocks.popitem(last=False)
+        nbytes = self._bytes.pop(victim)
+        level = self._levels.pop(victim, "MEMORY_AND_DISK")
+        owner = self._owners.pop(victim, None)
+        self._live_bytes -= nbytes
+        self.evictions += 1
+        self.memory.release("storage", owner, nbytes)
+        if self.spill is not None and level == "MEMORY_AND_DISK":
+            self._spill_items(victim, items, nbytes)
+
+    def _spill_items(self, key: tuple[int, int], items: list, nbytes: int) -> None:
+        self.spill.put(self._spill_key(key), items)
+        self._spilled.add(key)
+        if self._metrics is not None:
+            self._metrics.blocks_spilled += 1
+            self._metrics.spill_bytes_written += nbytes
+
+    def _drop_locked(self, key: tuple[int, int]) -> None:
+        self._blocks.pop(key, None)
+        nbytes = self._bytes.pop(key, 0)
+        self._levels.pop(key, None)
+        owner = self._owners.pop(key, None)
+        self._live_bytes -= nbytes
+        if self.memory is not None and nbytes:
+            self.memory.release("storage", owner, nbytes)
+
     def get(self, rdd_id: int, partition: int) -> list | None:
         key = (rdd_id, partition)
         with self._lock:
             got = self._blocks.get(key)
             if got is not None:
                 self._blocks.move_to_end(key)
-            return got
+                return got
+            spilled = key in self._spilled
+        if not spilled or self.spill is None:
+            return None
+        try:
+            items = self.spill.get(self._spill_key(key))
+        except (CorruptBlockError, BlockNotFoundError):
+            # Checksum failure or vanished file: never serve bad data —
+            # forget the block and let the caller recompute from lineage.
+            with self._lock:
+                self._spilled.discard(key)
+            self.spill.delete(self._spill_key(key))
+            return None
+        if self._metrics is not None:
+            self._metrics.spill_reads += 1
+            self._metrics.spill_bytes_read += sum(sizeof_block(x) for x in items)
+        return items
 
     def contains(self, rdd_id: int, partition: int) -> bool:
         with self._lock:
-            return (rdd_id, partition) in self._blocks
+            key = (rdd_id, partition)
+            return key in self._blocks or key in self._spilled
 
     def evict_rdd(self, rdd_id: int) -> None:
         with self._lock:
             for key in [k for k in self._blocks if k[0] == rdd_id]:
-                del self._blocks[key]
-                self._live_bytes -= self._bytes.pop(key, 0)
+                self._drop_locked(key)
+            dead = [k for k in self._spilled if k[0] == rdd_id]
+            self._spilled.difference_update(dead)
+        if self.spill is not None:
+            for key in dead:
+                self.spill.delete(self._spill_key(key))
 
     @property
     def live_bytes(self) -> int:
@@ -90,6 +206,11 @@ class BlockManager:
     def num_blocks(self) -> int:
         with self._lock:
             return len(self._blocks)
+
+    @property
+    def num_spilled(self) -> int:
+        with self._lock:
+            return len(self._spilled)
 
 
 class SharedStorage:

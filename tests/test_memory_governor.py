@@ -1,0 +1,530 @@
+"""Unified memory governor: spill-to-disk, backpressure, degradation.
+
+The invariant under test is the robustness counterpart of the capacity
+failure mode the seed engine reproduced faithfully: a solve whose
+working set exceeds the memory budget must *complete* — by spilling
+cached blocks and staged shuffle outputs to checksummed disk, queueing
+task launches under pressure, and (when armed) degrading IM→CB at an
+outer-iteration boundary — and the result must be bit-identical to an
+unbudgeted run.  The same configuration on the ungoverned engine fails
+with :class:`StorageCapacityError`, which pins down exactly what the
+governor buys.  The ``mem_squeeze`` chaos kind shrinks the budget
+mid-solve under the seeded determinism contract: same seed, same
+pressure-transition trace, same counters.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.__main__ import main as cli_main
+from repro.core.dpspark import GepSparkSolver, make_kernel
+from repro.core.gep import FloydWarshallGep
+from repro.sparkle import (
+    EngineMetrics,
+    FaultPlan,
+    FaultSpec,
+    MemoryManager,
+    PRESSURE_CRITICAL,
+    PRESSURE_OK,
+    PRESSURE_PRESSURED,
+    ShuffleFetchFailed,
+    SparkleContext,
+    StorageCapacityError,
+    TaskError,
+)
+from repro.sparkle.durable import DurableBlockStore
+from repro.sparkle.shuffle import ShuffleManager
+from repro.sparkle.storage import BlockManager
+
+from .conftest import fw_table
+
+pytestmark = pytest.mark.memory
+
+SPEC = FloydWarshallGep()
+TABLE = fw_table(16, seed=3)
+R = 4
+
+#: Deliberately below the IM working set for TABLE/R: the ungoverned
+#: engine overflows this as a shuffle staging capacity, the governed
+#: engine completes under it as a memory budget.
+TIGHT_BUDGET = 2048
+
+
+def flip_byte(path: Path) -> None:
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def spark_solve(
+    table,
+    *,
+    strategy="im",
+    budget=None,
+    plan=None,
+    degrade=False,
+    shuffle_capacity=None,
+    spill_dir=None,
+):
+    sc = SparkleContext(
+        2,
+        1,
+        fault_plan=plan,
+        shuffle_capacity_bytes=shuffle_capacity,
+        memory_budget_bytes=budget,
+        spill_dir=spill_dir,
+    )
+    try:
+        solver = GepSparkSolver(
+            SPEC,
+            sc,
+            r=R,
+            kernel=make_kernel(SPEC, "iterative"),
+            strategy=strategy,
+            degrade_on_pressure=degrade,
+        )
+        out, report = solver.solve(table)
+    finally:
+        sc.stop()
+    return out, report, sc.metrics
+
+
+_EXPECTED = {}
+
+
+def expected_result():
+    """The unbudgeted IM result (computed once; the bit-identity oracle)."""
+    if "out" not in _EXPECTED:
+        _EXPECTED["out"], _, _ = spark_solve(TABLE)
+    return _EXPECTED["out"]
+
+
+# ----------------------------------------------------------------------
+# MemoryManager units
+# ----------------------------------------------------------------------
+class TestMemoryManager:
+    def test_reserve_release_accounting(self):
+        mm = MemoryManager(1000)
+        assert mm.reserve("execution", "e0", 400)
+        assert mm.reserve("storage", "e1", 500)
+        assert mm.live_bytes == 900
+        assert not mm.reserve("execution", "e0", 200)  # 1100 > 1000
+        mm.release("storage", "e1", 500)
+        assert mm.reserve("execution", "e0", 200)
+        u = mm.usage()
+        assert u["execution_bytes"] == 600
+        assert u["storage_bytes"] == 0
+        assert u["by_owner"]["execution"] == {"e0": 600}
+
+    def test_unknown_pool_rejected(self):
+        mm = MemoryManager(100)
+        with pytest.raises(ValueError):
+            mm.reserve("heap", "e0", 1)
+        with pytest.raises(ValueError):
+            mm.release("heap", "e0", 1)
+
+    def test_forced_grant_oversubscribes_and_is_metered(self):
+        metrics = EngineMetrics()
+        mm = MemoryManager(100, metrics=metrics)
+        assert mm.reserve("execution", "e0", 90)
+        assert mm.reserve("execution", "e0", 90, force=True)
+        assert mm.live_bytes == 180
+        assert metrics.forced_grants == 1
+        # a force that *fits* is not an oversubscription
+        mm.release("execution", "e0", 180)
+        assert mm.reserve("execution", "e0", 10, force=True)
+        assert metrics.forced_grants == 1
+
+    def test_over_release_clamps_to_zero(self):
+        mm = MemoryManager(100)
+        mm.reserve("storage", "e0", 30)
+        mm.release("storage", "e0", 90)
+        assert mm.live_bytes == 0
+        assert mm.usage()["by_owner"]["storage"] == {}
+
+    def test_pressure_transitions_are_traced(self):
+        metrics = EngineMetrics()
+        mm = MemoryManager(1000, metrics=metrics)
+        assert mm.pressure() == PRESSURE_OK
+        mm.reserve("storage", "e0", 750)
+        assert mm.pressure() == PRESSURE_PRESSURED
+        mm.reserve("storage", "e0", 200)
+        assert mm.pressure() == PRESSURE_CRITICAL
+        mm.release("storage", "e0", 900)
+        assert mm.pressure() == PRESSURE_OK
+        assert metrics.pressure_transitions == [
+            "ok->pressured",
+            "pressured->critical",
+            "critical->ok",
+        ]
+
+    def test_first_admission_always_granted(self):
+        # Budget already exhausted by storage: the first task must still
+        # be admitted (deadlock-freedom), oversubscribing the budget.
+        mm = MemoryManager(100, task_quantum_bytes=60)
+        mm.reserve("storage", "e0", 100)
+        grant = mm.admit_task()
+        assert grant == 60
+        assert mm.live_bytes == 160
+        mm.finish_task(grant)
+        assert mm.live_bytes == 100
+
+    def test_admission_backpressure_queues_and_wakes(self):
+        metrics = EngineMetrics()
+        mm = MemoryManager(100, task_quantum_bytes=60, metrics=metrics)
+        first = mm.admit_task()
+        admitted = threading.Event()
+
+        def second_task():
+            g = mm.admit_task()
+            admitted.set()
+            mm.finish_task(g)
+
+        t = threading.Thread(target=second_task, daemon=True)
+        t.start()
+        # 60 + 60 > 100 and a task is already admitted: must queue.
+        assert not admitted.wait(0.15)
+        mm.finish_task(first)
+        assert admitted.wait(2.0)
+        t.join(timeout=2.0)
+        assert metrics.admission_waits == 1
+        assert metrics.admission_wait_seconds > 0.0
+        assert mm.live_bytes == 0
+
+    def test_squeeze_shrinks_with_quantum_floor(self):
+        metrics = EngineMetrics()
+        mm = MemoryManager(1000, task_quantum_bytes=100, metrics=metrics)
+        assert mm.squeeze(0.5) == 500
+        assert mm.squeeze(0.1) == 100  # floored at one task quantum
+        assert mm.squeeze(0.5) == 100
+        assert metrics.mem_squeezes == 3
+        with pytest.raises(ValueError):
+            mm.squeeze(0.0)
+        with pytest.raises(ValueError):
+            mm.squeeze(1.5)
+
+    def test_squeeze_can_transition_pressure(self):
+        metrics = EngineMetrics()
+        mm = MemoryManager(1000, task_quantum_bytes=10, metrics=metrics)
+        mm.reserve("storage", "e0", 500)
+        assert mm.pressure() == PRESSURE_OK
+        mm.squeeze(0.5)
+        assert mm.pressure() == PRESSURE_CRITICAL
+        assert "ok->critical" in metrics.pressure_transitions
+
+
+# ----------------------------------------------------------------------
+# BlockManager spill (MEMORY_AND_DISK)
+# ----------------------------------------------------------------------
+class TestBlockManagerSpill:
+    def make(self, tmp_path, budget):
+        metrics = EngineMetrics()
+        mm = MemoryManager(budget, metrics=metrics, task_quantum_bytes=1)
+        store = DurableBlockStore(tmp_path / "spill", metrics=metrics, sync=False)
+        bm = BlockManager(memory=mm, spill=store, metrics=metrics)
+        return bm, mm, store, metrics
+
+    def test_eviction_spills_and_reads_back(self, tmp_path):
+        bm, mm, store, metrics = self.make(tmp_path, 300)
+        a, b, c = (np.full(16, float(i)) for i in range(3))  # 128 B each
+        bm.put(0, 0, [a])
+        bm.put(0, 1, [b])
+        bm.put(0, 2, [c])  # 384 B > 300: evicts LRU (0,0) to disk
+        assert bm.num_spilled == 1
+        assert metrics.blocks_spilled == 1
+        assert metrics.spill_bytes_written == 128
+        got = bm.get(0, 0)
+        np.testing.assert_array_equal(got[0], a)
+        assert metrics.spill_reads == 1
+        assert metrics.spill_bytes_read == 128
+        assert bm.contains(0, 0)
+        assert mm.live_bytes <= 300
+
+    def test_memory_only_evicts_by_dropping(self, tmp_path):
+        bm, mm, store, metrics = self.make(tmp_path, 300)
+        bm.put(0, 0, [np.zeros(16)], level="MEMORY_ONLY")
+        bm.put(0, 1, [np.zeros(16)])
+        bm.put(0, 2, [np.zeros(16)])  # evicts (0,0), which opted out of disk
+        assert bm.get(0, 0) is None  # recompute from lineage
+        assert bm.num_spilled == 0
+        assert metrics.blocks_spilled == 0
+
+    def test_block_larger_than_budget_goes_disk_only(self, tmp_path):
+        bm, mm, store, metrics = self.make(tmp_path, 64)
+        big = np.zeros(32)  # 256 B > budget
+        bm.put(0, 0, [big])
+        assert bm.num_blocks == 0
+        assert bm.num_spilled == 1
+        np.testing.assert_array_equal(bm.get(0, 0)[0], big)
+        assert mm.live_bytes == 0
+
+    def test_corrupt_spill_is_never_served(self, tmp_path):
+        bm, mm, store, metrics = self.make(tmp_path, 300)
+        bm.put(0, 0, [np.ones(16)])
+        bm.put(0, 1, [np.ones(16)])
+        bm.put(0, 2, [np.ones(16)])
+        assert bm.num_spilled == 1
+        flip_byte(store.blocks_dir / store._filename(repr(("cache", 0, 0))))
+        assert bm.get(0, 0) is None  # checksum caught it: recompute
+        assert metrics.corrupt_blocks_detected == 1
+        assert not bm.contains(0, 0)  # marker discarded, put can refresh
+        assert bm.get(0, 0) is None
+
+    def test_unpersist_deletes_spill_files(self, tmp_path):
+        bm, mm, store, metrics = self.make(tmp_path, 300)
+        for p in range(3):
+            bm.put(7, p, [np.ones(16)])
+        assert bm.num_spilled == 1
+        bm.evict_rdd(7)
+        assert bm.num_blocks == 0
+        assert bm.num_spilled == 0
+        assert len(store) == 0
+        assert mm.live_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# ShuffleManager spill
+# ----------------------------------------------------------------------
+def bucket(value):
+    """One single-pair reduce bucket: 16 (key) + value bytes."""
+    return {0: [(0, value)]}
+
+
+class TestShuffleManagerSpill:
+    def make(self, tmp_path, budget):
+        metrics = EngineMetrics()
+        mm = MemoryManager(budget, metrics=metrics, task_quantum_bytes=1)
+        store = DurableBlockStore(tmp_path / "spill", metrics=metrics, sync=False)
+        sm = ShuffleManager(memory=mm, spill=store, metrics=metrics)
+        return sm, mm, store, metrics
+
+    def test_overflow_spills_oldest_and_fetches_back(self, tmp_path):
+        sm, mm, store, metrics = self.make(tmp_path, 300)
+        sid = sm.new_shuffle_id()
+        for mp in range(3):  # 144 B each; third write exceeds 300
+            sm.write(sid, mp, bucket(np.full(16, float(mp))))
+        assert sm.num_spilled == 1
+        assert metrics.shuffle_blocks_spilled == 1
+        assert sm.has_output(sid, 0)
+        items, nbytes, _remote = sm.fetch(sid, 0, 3)
+        assert [v[0] for _k, v in [(k, v) for k, v in items]] == [0.0, 1.0, 2.0]
+        assert metrics.spill_reads == 1
+        assert mm.live_bytes <= 300
+
+    def test_no_spill_store_drops_oldest_for_recompute(self, tmp_path):
+        metrics = EngineMetrics()
+        mm = MemoryManager(300, metrics=metrics, task_quantum_bytes=1)
+        sm = ShuffleManager(memory=mm, metrics=metrics)
+        sid = sm.new_shuffle_id()
+        for mp in range(3):
+            sm.write(sid, mp, bucket(np.ones(16)))
+        assert not sm.has_output(sid, 0)  # dropped, not spilled
+        with pytest.raises(ShuffleFetchFailed) as exc_info:
+            sm.fetch(sid, 0, 3)
+        assert exc_info.value.missing == (0,)
+
+    def test_corrupt_spill_surfaces_as_fetch_failure(self, tmp_path):
+        sm, mm, store, metrics = self.make(tmp_path, 300)
+        sid = sm.new_shuffle_id()
+        for mp in range(3):
+            sm.write(sid, mp, bucket(np.ones(16)))
+        assert sm.num_spilled == 1
+        flip_byte(store.blocks_dir / store._filename(repr(("shuffle", sid, 0))))
+        with pytest.raises(ShuffleFetchFailed) as exc_info:
+            sm.fetch(sid, 0, 3)
+        assert exc_info.value.missing == (0,)
+        assert metrics.corrupt_blocks_detected == 1
+        # the scheduler's recompute path re-stages the output; idempotent
+        sm.write(sid, 0, bucket(np.ones(16)))
+        items, _n, _r = sm.fetch(sid, 0, 3)
+        assert len(items) == 3
+
+    def test_release_reclaims_memory_and_spill_files(self, tmp_path):
+        sm, mm, store, metrics = self.make(tmp_path, 300)
+        sid = sm.new_shuffle_id()
+        for mp in range(3):
+            sm.write(sid, mp, bucket(np.ones(16)))
+        sm.release(sid)
+        assert sm.live_bytes() == 0
+        assert sm.num_spilled == 0
+        assert len(store) == 0
+        assert mm.live_bytes == 0
+
+    def test_executor_loss_drops_spilled_outputs_too(self, tmp_path):
+        sm, mm, store, metrics = self.make(tmp_path, 300)
+        sid = sm.new_shuffle_id()
+        for mp in range(3):
+            sm.write(sid, mp, bucket(np.ones(16)))
+        dropped = sm.drop_executor_outputs(lambda mp: mp == 0)
+        assert (sid, 0) in dropped
+        assert not sm.has_output(sid, 0)
+
+
+# ----------------------------------------------------------------------
+# Stage abort cleans up partial map outputs (satellite 3)
+# ----------------------------------------------------------------------
+class TestStageAbortCleanup:
+    def test_capacity_overflow_mid_stage_leaves_nothing_staged(self):
+        # Legacy (ungoverned) staging capacity: each of the 4 map tasks
+        # stages ~320 B, so the stage overflows after the first write.
+        with SparkleContext(2, 1, shuffle_capacity_bytes=500) as sc:
+            pairs = sc.parallelize(range(16), 4).map(
+                lambda x: (x % 4, np.ones(8))
+            )
+            with pytest.raises(TaskError) as exc_info:
+                pairs.reduceByKey(lambda a, b: a + b).collect()
+            assert isinstance(exc_info.value.__cause__, StorageCapacityError)
+            assert sc._shuffle_manager.live_bytes() == 0
+            assert sc.metrics.shuffle_partial_cleanups >= 1
+
+
+# ----------------------------------------------------------------------
+# End-to-end: budgeted solves
+# ----------------------------------------------------------------------
+class TestBudgetedSolve:
+    def test_ungoverned_engine_fails_where_governor_completes(self):
+        expected = expected_result()
+        # Pre-governor failure mode: the same byte ceiling as a staging
+        # capacity kills the solve with StorageCapacityError...
+        with pytest.raises(TaskError) as exc_info:
+            spark_solve(TABLE, shuffle_capacity=TIGHT_BUDGET)
+        assert isinstance(exc_info.value.__cause__, StorageCapacityError)
+        # ...while the governed engine completes under it, bit-identical,
+        # by spilling to disk.
+        out, report, metrics = spark_solve(TABLE, budget=TIGHT_BUDGET)
+        assert np.array_equal(out, expected)
+        mem = report.memory
+        assert mem["spill_bytes_written"] > 0
+        assert mem["shuffle_blocks_spilled"] > 0
+        assert mem["spill_reads"] > 0
+        assert report.extras["memory_budget"]["budget_bytes"] == TIGHT_BUDGET
+
+    def test_spill_dir_is_honored(self, tmp_path):
+        spill = tmp_path / "myspill"
+        out, report, _metrics = spark_solve(
+            TABLE, budget=TIGHT_BUDGET, spill_dir=str(spill)
+        )
+        assert np.array_equal(out, expected_result())
+        assert (spill / "blocks").is_dir()
+
+    def test_mem_squeeze_is_deterministic_per_seed(self):
+        plan = lambda: FaultPlan(11, [FaultSpec("mem_squeeze", 1.0)])  # noqa: E731
+        runs = [
+            spark_solve(TABLE, budget=4 * TIGHT_BUDGET, plan=plan())
+            for _ in range(2)
+        ]
+        (out_a, rep_a, met_a), (out_b, rep_b, met_b) = runs
+        assert np.array_equal(out_a, out_b)
+        assert np.array_equal(out_a, expected_result())
+        assert met_a.mem_squeezes == met_b.mem_squeezes > 0
+        assert met_a.pressure_transitions == met_b.pressure_transitions
+        a, b = rep_a.memory, rep_b.memory
+        for key in (
+            "spill_bytes_written",
+            "blocks_spilled",
+            "shuffle_blocks_spilled",
+            "forced_grants",
+        ):
+            assert a[key] == b[key], key
+        # a different seed makes different squeeze decisions
+        _out_c, rep_c, met_c = spark_solve(
+            TABLE,
+            budget=4 * TIGHT_BUDGET,
+            plan=FaultPlan(12, [FaultSpec("mem_squeeze", 1.0)]),
+        )
+        assert np.array_equal(_out_c, expected_result())
+
+    def test_degradation_switches_im_to_cb_bit_identically(self):
+        plan = FaultPlan(11, [FaultSpec("mem_squeeze", 1.0)])
+        out, report, metrics = spark_solve(
+            TABLE, budget=TIGHT_BUDGET, plan=plan, degrade=True
+        )
+        assert np.array_equal(out, expected_result())
+        degraded = report.extras["degraded"]
+        assert degraded["from"] == "im"
+        assert degraded["to"] == "cb"
+        assert degraded["at_iteration"] >= 0
+        assert metrics.strategy_degradations == 1
+        assert report.memory["strategy_degradations"] == 1
+
+    def test_degradation_is_noop_for_cb(self):
+        plan = FaultPlan(11, [FaultSpec("mem_squeeze", 1.0)])
+        out, report, metrics = spark_solve(
+            TABLE, budget=TIGHT_BUDGET, plan=plan, degrade=True, strategy="cb"
+        )
+        assert np.array_equal(out, expected_result())
+        assert "degraded" not in report.extras
+        assert metrics.strategy_degradations == 0
+
+    @given(
+        budget=st.integers(min_value=1500, max_value=20000),
+        seed=st.integers(min_value=0, max_value=50),
+        strategy=st.sampled_from(["im", "cb"]),
+        squeeze_rate=st.sampled_from([0.0, 1.0]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_any_budget_is_bit_identical(
+        self, budget, seed, strategy, squeeze_rate
+    ):
+        plan = FaultPlan(seed, [FaultSpec("mem_squeeze", squeeze_rate)])
+        out, _report, _metrics = spark_solve(
+            TABLE, budget=budget, plan=plan, degrade=True, strategy=strategy
+        )
+        assert np.array_equal(out, expected_result())
+
+
+# ----------------------------------------------------------------------
+# CLI: --memory-budget / --report / memstat
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_budgeted_solve_and_memstat_roundtrip(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        rc = cli_main(
+            [
+                "solve", "apsp", "--n", "16", "--engine", "spark",
+                "--r", "4", "--kernel", "iterative",
+                "--executors", "2", "--cores", "1",
+                "--memory-budget", str(TIGHT_BUDGET),
+                "--report", str(report_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "memory:" in out
+        summary = json.loads(report_path.read_text())
+        assert summary["spill_bytes_written"] > 0
+        rc = cli_main(["memstat", str(report_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spill_bytes_written" in out
+        assert "pressure_transitions" in out
+
+    def test_memstat_rejects_non_memory_reports(self, tmp_path, capsys):
+        path = tmp_path / "not_a_report.json"
+        path.write_text(json.dumps({"hello": 1}))
+        assert cli_main(["memstat", str(path)]) == 2
+        assert cli_main(["memstat", str(tmp_path / "missing.json")]) == 2
+
+    def test_flag_validation(self, capsys):
+        assert (
+            cli_main(["solve", "apsp", "--n", "16", "--memory-budget", "4096"])
+            == 2
+        )
+        assert (
+            cli_main(["solve", "apsp", "--n", "16", "--degrade-on-pressure"])
+            == 2
+        )
+        assert (
+            cli_main(
+                ["solve", "apsp", "--n", "16", "--engine", "spark",
+                 "--spill-dir", "/tmp/x"]
+            )
+            == 2
+        )
