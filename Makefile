@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test tier1 robustness smoke
+.PHONY: test tier1 robustness perf smoke bench
 
 # full suite
 test:
@@ -15,5 +15,16 @@ tier1:
 robustness:
 	$(PYTEST) -q -m "chaos or durability or memory"
 
-# robustness gate: tier-1, then the chaos/durability/memory suites verbosely
-smoke: tier1 robustness
+# performance-claim gates (multicore wall-clock assertions; they
+# self-skip on hosts with < 4 cores, so this is always safe to run)
+perf:
+	$(PYTEST) -q -m perf
+
+# robustness gate: tier-1, then chaos/durability/memory, then perf gates
+smoke: tier1 robustness perf
+
+# A/B the thread and process data planes on the pinned FW-APSP workload
+# and write BENCH_engine.json (wall-clock, shuffle bytes, zero-copy
+# accounting per backend).  BENCH_ARGS="--quick" for CI scale.
+bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_driver.py $(BENCH_ARGS)

@@ -69,6 +69,9 @@ def _cmd_solve(args) -> int:
     if args.memory_budget is not None and args.engine != "spark":
         print("--memory-budget requires --engine spark", file=sys.stderr)
         return 2
+    if args.backend != "threads" and args.engine != "spark":
+        print("--backend requires --engine spark", file=sys.stderr)
+        return 2
     if args.memory_budget is not None and args.memory_budget < 1:
         print("--memory-budget must be >= 1 byte", file=sys.stderr)
         return 2
@@ -96,6 +99,7 @@ def _cmd_solve(args) -> int:
             checkpoint_dir=args.checkpoint_dir or None,
             memory_budget_bytes=args.memory_budget,
             spill_dir=args.spill_dir or None,
+            backend=args.backend,
         )
         if args.engine == "spark"
         else None
@@ -149,6 +153,8 @@ def _cmd_solve(args) -> int:
                 print("chaos:", fault_plan.describe(),
                       "| injected:", fault_plan.fired())
                 print("recovery:", report.engine_metrics.recovery_summary())
+            if args.backend == "processes":
+                print("data plane:", report.engine_metrics.data_plane_summary())
             if args.memory_budget is not None:
                 print("memory:", report.engine_metrics.memory_summary())
                 if report.extras.get("degraded"):
@@ -343,6 +349,12 @@ def main(argv: list[str] | None = None) -> int:
                             "variables — a design-space ablation)")
     solve.add_argument("--executors", type=int, default=4)
     solve.add_argument("--cores", type=int, default=2)
+    solve.add_argument(
+        "--backend", choices=("threads", "processes"), default="threads",
+        help="spark-engine execution backend: threads (default, "
+             "deterministic in-process pool) or processes (one worker "
+             "process per executor; kernel tile updates run on multiple "
+             "cores via shared-memory transport — bit-identical results)")
     solve.add_argument(
         "--checkpoint-dir", metavar="DIR", default=None,
         help="durable checkpoint/journal directory for the spark engine: "

@@ -47,6 +47,7 @@ def run_gep(
     memory_budget_bytes: int | None = None,
     spill_dir: str | None = None,
     degrade_on_pressure: bool = False,
+    backend: str = "threads",
 ) -> tuple[np.ndarray, SolveReport | None]:
     """Run one GEP computation; returns ``(result, report_or_None)``.
 
@@ -57,7 +58,11 @@ def run_gep(
     only).  ``memory_budget_bytes``/``spill_dir`` attach the unified
     memory governor to an owned context (spark engine only; pass a
     pre-budgeted ``sc`` otherwise), and ``degrade_on_pressure`` arms
-    the solver's IM→CB fallback under critical pressure.
+    the solver's IM→CB fallback under critical pressure.  ``backend``
+    picks the execution data plane of an owned spark context
+    (``"threads"`` default, or ``"processes"`` for multicore kernel
+    offload — bit-identical results; construct ``sc`` with ``backend=``
+    yourself to combine with a shared context).
     """
     table = np.asarray(table)
     if engine != "spark" and (checkpoint_dir is not None or resume):
@@ -67,6 +72,13 @@ def run_gep(
     ):
         raise ValueError(
             "memory_budget_bytes/degrade_on_pressure require engine='spark'"
+        )
+    if backend != "threads" and engine != "spark":
+        raise ValueError("backend requires engine='spark'")
+    if backend != "threads" and sc is not None:
+        raise ValueError(
+            "backend applies to an owned context; construct the "
+            "SparkleContext with backend= instead"
         )
     if sc is not None and memory_budget_bytes is not None:
         raise ValueError(
@@ -105,6 +117,7 @@ def run_gep(
                 checkpoint_dir=checkpoint_dir,
                 memory_budget_bytes=memory_budget_bytes,
                 spill_dir=spill_dir,
+                backend=backend,
             )
         elif checkpoint_dir is not None:
             sc.setCheckpointDir(checkpoint_dir)
@@ -163,6 +176,7 @@ class GepRunOptions(dict):
             "memory_budget_bytes",
             "spill_dir",
             "degrade_on_pressure",
+            "backend",
         }
     )
 

@@ -25,15 +25,32 @@ Both produce bit-identical results to the single-node blocked executor
 down across strategies, kernels, grid shapes and partitioners — and,
 via the seeded chaos harness (:mod:`repro.sparkle.chaos`), under
 injected task kills, executor loss, stragglers and transient I/O
-faults: every kernel copies its tile before updating, so retried and
-speculative attempts are pure recomputations from lineage and recovery
-can never corrupt the DP table.  A run's recovery cost is surfaced on
-:attr:`SolveReport.recovery`.
+faults: every kernel works on a private copy of its tile, so retried
+and speculative attempts are pure recomputations from lineage and
+recovery can never corrupt the DP table.  A run's recovery cost is
+surfaced on :attr:`SolveReport.recovery`.
+
+Data plane.  Kernel invocations go through :meth:`GepSparkSolver.
+_updated_tile`, which never mutates its input.  On the default thread
+backend it takes the historical defensive ``tile.copy()`` (the
+retry-purity contract above) — unless the tile arrives as an *owned*
+:class:`~repro.sparkle.serialize.CowTile`, in which case the copy is
+skipped and metered as ``copies_eliminated``.  On the process backend
+(``SparkleContext(backend="processes")``) picklable kernels are
+offloaded to worker processes: the tile is staged into a shared-memory
+scratch segment (that staging *is* the private copy), operands already
+resident in the arena (CB storage blocks, broadcast tiles, cached
+partitions) travel as segment names instead of bytes, and intra-tile
+aliasing (A's ``u=v=w=x``, B's ``v=x``, C's ``u=x``) is re-established
+worker-side via the :data:`~repro.sparkle.backend.ALIAS_X` sentinel.
+Both paths are bit-identical; the backend-parity property test pins
+that down.
 """
 
 from __future__ import annotations
 
 import hashlib
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -42,7 +59,9 @@ import numpy as np
 from ..kernels import IterativeKernel, LockingKernelStats, RecursiveKernel
 from ..kernels.openmp import OmpRuntime
 from ..sparkle import HashPartitioner, Partitioner, SparkleContext
+from ..sparkle.backend import ALIAS_X
 from ..sparkle.durable import SolveJournal
+from ..sparkle.serialize import CowTile
 from ..sparkle.errors import (
     BlockNotFoundError,
     CorruptBlockError,
@@ -258,6 +277,11 @@ class GepSparkSolver:
         )
         self.partitioner = partitioner or HashPartitioner(self.num_partitions)
         self.stats = LockingKernelStats() if collect_stats else None
+        # Kernel pickle probe for process-backend offload: resolved
+        # lazily on first use (False = not probed yet; None = kernel is
+        # not picklable, e.g. RecursiveKernel's OmpRuntime thread-locals,
+        # so tile updates stay on the driver's thread path).
+        self._kernel_blob: bytes | None | bool = False
 
     # ------------------------------------------------------------------
     # public API
@@ -516,8 +540,48 @@ class GepSparkSolver:
     # ------------------------------------------------------------------
     # kernel wrappers (closure-captured into tasks)
     # ------------------------------------------------------------------
-    def _run_kernel(self, case, x, u, v, w, gi0, gj0, gk0, n):
-        self.kernel.run(case, x, u, v, w, gi0, gj0, gk0, n, stats=self.stats)
+    def _offload_blob(self) -> bytes | None:
+        """Pickled kernel for worker processes (None if unpicklable)."""
+        if self._kernel_blob is False:
+            try:
+                self._kernel_blob = pickle.dumps(self.kernel, protocol=5)
+            except Exception:
+                self._kernel_blob = None
+        return self._kernel_blob  # type: ignore[return-value]
+
+    def _updated_tile(self, case, tile, u, v, w, gi0, gj0, gk0, n):
+        """Apply one tile kernel *without mutating* ``tile``; return the
+        updated array.
+
+        ``u``/``v``/``w`` may be the :data:`~repro.sparkle.backend.
+        ALIAS_X` sentinel, meaning "this operand is the tile itself"
+        (A's ``u=v=w=x``, B's ``v=x``, C's ``u=x``) — resolved against
+        the private copy on the thread path, or re-established against
+        the shared-memory scratch view by the worker on the process
+        path.  Never mutating ``tile`` is the retry-purity contract:
+        retried and speculative attempts must see pristine inputs.
+        """
+        backend = self.sc._executors.backend
+        if backend.supports_kernel_offload:
+            blob = self._offload_blob()
+            if blob is not None:
+                arr = tile.array if isinstance(tile, CowTile) else tile
+                out, stats = backend.run_kernel(
+                    blob, case, arr, u, v, w, gi0, gj0, gk0, n,
+                    want_stats=self.stats is not None,
+                )
+                if stats is not None and self.stats is not None:
+                    self.stats.merge(stats)
+                return out
+        if isinstance(tile, CowTile):
+            x = tile.writable(self.sc.metrics)
+        else:
+            x = tile.copy()
+        u2 = x if u is ALIAS_X else u
+        v2 = x if v is ALIAS_X else v
+        w2 = x if w is ALIAS_X else w
+        self.kernel.run(case, x, u2, v2, w2, gi0, gj0, gk0, n, stats=self.stats)
+        return x
 
     # ------------------------------------------------------------------
     # In-Memory strategy (Listing 1)
@@ -530,15 +594,14 @@ class GepSparkSolver:
         c_keys = frozenset((i, k) for i in cs)
         d_keys = frozenset((i, j) for i in cs for j in bs)
         gk0 = bounds[k]
-        runner = self._run_kernel
+        runner = self._updated_tile
 
         # ---- stage 1: kernel A on the pivot tile, with consumer copies
         needs_w = spec.needs_w
 
         def a_rec(kv):
             (key, tile) = kv
-            x = tile.copy()
-            runner("A", x, x, x, x, gk0, gk0, gk0, n)
+            x = runner("A", tile, ALIAS_X, ALIAS_X, ALIAS_X, gk0, gk0, gk0, n)
             out = [(key, ("x", x))]
             for bk_ in b_keys:
                 out.append((bk_, ("uw", x)))
@@ -568,15 +631,14 @@ class GepSparkSolver:
         def bc_rec(kv):
             key, roles = kv
             i, j = key
-            x = roles["x"].copy()
             if i == k:  # B: pivot row; V aliases X
                 pivot = roles["uw"]
-                runner("B", x, pivot, x, pivot, gk0, bounds[j], gk0, n)
+                x = runner("B", roles["x"], pivot, ALIAS_X, pivot, gk0, bounds[j], gk0, n)
                 out = [(key, ("x", x))]
                 out.extend(((ii, j), ("v", x)) for ii in cs)
             else:  # C: pivot column; U aliases X
                 pivot = roles["vw"]
-                runner("C", x, x, pivot, pivot, bounds[i], gk0, gk0, n)
+                x = runner("C", roles["x"], ALIAS_X, pivot, pivot, bounds[i], gk0, gk0, n)
                 out = [(key, ("x", x))]
                 out.extend(((i, jj), ("u", x)) for jj in bs)
             return out
@@ -604,9 +666,8 @@ class GepSparkSolver:
         def d_rec(kv):
             key, roles = kv
             i, j = key
-            x = roles["x"].copy()
-            runner(
-                "D", x, roles["u"], roles["v"], roles.get("w"),
+            x = runner(
+                "D", roles["x"], roles["u"], roles["v"], roles.get("w"),
                 bounds[i], bounds[j], gk0, n,
             )
             return (key, x)
@@ -639,13 +700,11 @@ class GepSparkSolver:
         c_keys = frozenset((i, k) for i in cs)
         d_keys = frozenset((i, j) for i in cs for j in bs)
         gk0 = bounds[k]
-        runner = self._run_kernel
+        runner = self._updated_tile
 
         # ---- stage 1: kernel A; collect to the driver, stage to storage
         def a_rec(tile):
-            x = tile.copy()
-            runner("A", x, x, x, x, gk0, gk0, gk0, n)
-            return x
+            return runner("A", tile, ALIAS_X, ALIAS_X, ALIAS_X, gk0, gk0, gk0, n)
 
         a_block = dp.filter(lambda kv: kv[0] == (k, k)).mapValues(a_rec).cache()
         for _key, arr in a_block.collect():
@@ -659,12 +718,11 @@ class GepSparkSolver:
         def bc_rec(kv):
             key, tile = kv
             i, j = key
-            x = tile.copy()
             pivot = storage.get(("pivot", k))
             if i == k:
-                runner("B", x, pivot, x, pivot, gk0, bounds[j], gk0, n)
+                x = runner("B", tile, pivot, ALIAS_X, pivot, gk0, bounds[j], gk0, n)
             else:
-                runner("C", x, x, pivot, pivot, bounds[i], gk0, gk0, n)
+                x = runner("C", tile, ALIAS_X, pivot, pivot, bounds[i], gk0, gk0, n)
             return (key, x)
 
         bc_keys = b_keys | c_keys
@@ -678,11 +736,10 @@ class GepSparkSolver:
         def d_rec(kv):
             key, tile = kv
             i, j = key
-            x = tile.copy()
             u = storage.get(("bc", k, (i, k)))
             v = storage.get(("bc", k, (k, j)))
             w = storage.get(("pivot", k)) if needs_w else None
-            runner("D", x, u, v, w, bounds[i], bounds[j], gk0, n)
+            x = runner("D", tile, u, v, w, bounds[i], bounds[j], gk0, n)
             return (key, x)
 
         d_blocks = dp.filter(lambda kv: kv[0] in d_keys).map(d_rec)
@@ -705,12 +762,10 @@ class GepSparkSolver:
         c_keys = frozenset((i, k) for i in cs)
         d_keys = frozenset((i, j) for i in cs for j in bs)
         gk0 = bounds[k]
-        runner = self._run_kernel
+        runner = self._updated_tile
 
         def a_rec(tile):
-            x = tile.copy()
-            runner("A", x, x, x, x, gk0, gk0, gk0, n)
-            return x
+            return runner("A", tile, ALIAS_X, ALIAS_X, ALIAS_X, gk0, gk0, gk0, n)
 
         a_block = dp.filter(lambda kv: kv[0] == (k, k)).mapValues(a_rec).cache()
         collected = a_block.collect()
@@ -723,12 +778,11 @@ class GepSparkSolver:
         def bc_rec(kv):
             key, tile = kv
             i, j = key
-            x = tile.copy()
             pivot = pivot_bc.value
             if i == k:
-                runner("B", x, pivot, x, pivot, gk0, bounds[j], gk0, n)
+                x = runner("B", tile, pivot, ALIAS_X, pivot, gk0, bounds[j], gk0, n)
             else:
-                runner("C", x, x, pivot, pivot, bounds[i], gk0, gk0, n)
+                x = runner("C", tile, ALIAS_X, pivot, pivot, bounds[i], gk0, gk0, n)
             return (key, x)
 
         bc_keys = b_keys | c_keys
@@ -739,10 +793,9 @@ class GepSparkSolver:
         def d_rec(kv):
             key, tile = kv
             i, j = key
-            x = tile.copy()
             band = band_bc.value
-            runner(
-                "D", x, band[(i, k)], band[(k, j)],
+            x = runner(
+                "D", tile, band[(i, k)], band[(k, j)],
                 pivot_bc.value if needs_w else None,
                 bounds[i], bounds[j], gk0, n,
             )

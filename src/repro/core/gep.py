@@ -133,6 +133,22 @@ class GepSpec(abc.ABC):
             cols = (gj0 + np.arange(mj)) > gk
         return rows[:, None] & cols[None, :]
 
+    def sigma_mask_free(
+        self, gi0: int, gj0: int, shape: tuple[int, int], gk_lo: int, gk_hi: int
+    ) -> bool:
+        """True when :meth:`sigma_mask` is ``None`` for *every* ``gk`` in
+        ``[gk_lo, gk_hi)`` — the tile kernels' fast-path predicate.
+
+        The base Σ_G constraints (``i > k`` / ``j > k``) only get harder
+        as ``gk`` grows (``gi0 > gk`` / ``gj0 > gk`` are antitone in
+        ``gk``), so mask-freedom at the largest step implies it for the
+        whole range; one check replaces a per-``kk`` probe.  Overrides
+        with a non-monotone ``sigma_mask`` must override this too.
+        """
+        if gk_hi <= gk_lo:
+            return True
+        return self.sigma_mask(gi0, gj0, shape, gk_hi - 1) is None
+
     def k_active(self, gk: int, n: int) -> bool:
         """Whether global step ``gk`` performs any update on an n x n table.
 

@@ -68,6 +68,24 @@ def gep_tile_update(
         raise ValueError(f"U tile shape {u.shape} != {(x.shape[0], pivot)}")
     if v.shape != (pivot, x.shape[1]):
         raise ValueError(f"V tile shape {v.shape} != {(pivot, x.shape[1])}")
+    # Fast path: when no step of this tile's pivot range needs a Σ_G
+    # mask (checked once — mask-freedom is monotone in gk) and every
+    # step is active, the per-``kk`` spec probes (two Python calls plus
+    # possible mask-array allocation each) hoist out of the loop
+    # entirely.  This is the hot shape: FW/TC tiles are never masked,
+    # and GE tiles strictly below/right of the pivot stop being masked
+    # as soon as ``gi0 > gk`` / ``gj0 > gk``.
+    if spec.sigma_mask_free(gi0, gj0, x.shape, gk0, gk0 + pivot) and all(
+        spec.k_active(gk0 + kk, n_global) for kk in range(pivot)
+    ):
+        w_diag = None if w is None else w.diagonal()
+        for kk in range(pivot):
+            spec.apply_k(
+                x, u[:, kk], v[kk, :], None if w is None else w_diag[kk], None
+            )
+        if stats is not None:
+            stats.record_base(case, x.shape[0], x.shape[1], pivot, x.size * pivot)
+        return
     updates = 0
     for kk in range(pivot):
         gk = gk0 + kk

@@ -33,8 +33,27 @@ pressure (admission control), and exposes ``ok``/``pressured``/
 ``critical`` pressure levels that the GEP drivers can react to by
 degrading IM→CB mid-solve; the ``mem_squeeze`` chaos kind shrinks the
 budget mid-run under the seeded determinism contract.
+
+The data plane is pluggable (:mod:`repro.sparkle.backend`): the default
+``threads`` backend is the historical deterministic in-process pool,
+while ``SparkleContext(backend="processes")`` runs one worker process
+per simulated executor and offloads kernel tile updates past the GIL —
+tiles travel through ``multiprocessing.shared_memory`` segments
+(:class:`~repro.sparkle.serialize.SegmentArena`) and shuffle map
+outputs are staged as pickle-protocol-5 streams whose out-of-band tile
+buffers are deduplicated by identity
+(:class:`~repro.sparkle.serialize.SerializedMapOutput`).  Both backends
+produce bit-identical results.
 """
 
+from .backend import (
+    ALIAS_X,
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    ThreadBackend,
+    make_backend,
+)
 from .broadcast import Broadcast
 from .chaos import FAULT_KINDS, FaultPlan, FaultSpec
 from .context import SparkleContext
@@ -64,9 +83,31 @@ from .metrics import EngineMetrics, JobTrace, StageRecord, TaskRecord
 from .partitioner import GridPartitioner, HashPartitioner, Partitioner, RangePartitioner
 from .rdd import RDD, Aggregator
 from .scheduler import TaskContext
+from .serialize import (
+    CowTile,
+    SegmentArena,
+    SerializedMapOutput,
+    ShmArray,
+    release_nested,
+    share_nested,
+    shm_supported,
+)
 
 __all__ = [
     "SparkleContext",
+    "ALIAS_X",
+    "BACKENDS",
+    "ExecutionBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "CowTile",
+    "SegmentArena",
+    "SerializedMapOutput",
+    "ShmArray",
+    "release_nested",
+    "share_nested",
+    "shm_supported",
     "RDD",
     "Aggregator",
     "Broadcast",

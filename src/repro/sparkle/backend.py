@@ -1,0 +1,436 @@
+"""Pluggable execution backends: deterministic threads or real processes.
+
+The engine historically ran every task on one GIL-bound
+``ThreadPoolExecutor``.  :class:`ExecutionBackend` makes that choice
+pluggable (DESIGN.md §12):
+
+* :class:`ThreadBackend` (default) — the original thread pool, verbatim.
+  Orchestration thunks close over driver state (shuffle maps, locks,
+  fault plans), so they can only run in-process; this backend keeps
+  every determinism contract (chaos serialization, trace byte
+  accounting) exactly as before.
+* :class:`ProcessBackend` — orchestration still runs on threads (the
+  thunks are not picklable, by design), but the *kernel math* — the
+  A/B‖C/D tile updates that dominate wall-clock — is offloaded to a
+  ``ProcessPoolExecutor`` with one worker per simulated executor.  The
+  tile being updated is staged into a shared-memory scratch segment;
+  operands already resident in shared memory (CB storage, broadcast
+  values, cached partitions — see :class:`~.serialize.SegmentArena`)
+  are passed as segment descriptors, i.e. zero-copy; everything else
+  ships inline.  Workers attach, update in place, and return only
+  kernel stats — the result comes back through the segment.
+
+Determinism: kernel offload is synchronous per call and numerically
+identical (the worker runs the same NumPy ops on the same bits), so a
+process-backend solve is bit-identical to a thread-backend one; task
+*scheduling* still honours the chaos plane's ``serialize_tasks``
+contract because the offload happens inside the task body.  Caveats are
+documented in DESIGN.md §12 (worker wall-clock attribution, physical
+vs logical shuffle bytes).
+
+Worker lifecycle: the pool is created eagerly in the driver's
+constructor thread (forking later, mid-solve, from a many-threaded
+driver is the classic fork-safety trap) and torn down with
+``shutdown(wait=True)`` so no worker outlives the context.  Workers
+disable ``resource_tracker`` registration for shared memory — the
+driver's arena is the single owner responsible for unlinking, and a
+worker exiting must never reap segments the driver still serves.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Any, Callable
+
+import numpy as np
+
+from .serialize import SegmentArena, ShmArray, shm_supported
+
+__all__ = [
+    "ALIAS_X",
+    "BACKENDS",
+    "ExecutionBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+]
+
+#: Kernel-operand sentinel: "this operand aliases the tile being
+#: updated" (cases A/B/C).  The kernel contract encodes the case in the
+#: aliasing pattern, so the alias must be re-established against
+#: whichever materialization of X the backend updates.
+ALIAS_X = object()
+
+BACKENDS = ("threads", "processes")
+
+
+class ExecutionBackend:
+    """Contract the executor pool and the GEP drivers program against."""
+
+    name: str = "abstract"
+    #: whether :meth:`run_kernel` is available (drivers fall back to the
+    #: copy-then-update-in-place thread path when it is not)
+    supports_kernel_offload: bool = False
+
+    def run_tasks(
+        self, thunks: list[Callable[[], Any]], sequential: bool = False
+    ) -> list[Any]:
+        raise NotImplementedError
+
+    def run_kernel(
+        self,
+        kernel_blob: bytes,
+        case: str,
+        x: np.ndarray,
+        u: Any,
+        v: Any,
+        w: Any,
+        gi0: int,
+        gj0: int,
+        gk0: int,
+        n_global: int,
+        want_stats: bool = False,
+    ):
+        """Offloaded tile update; returns ``(fresh_updated_tile, stats)``."""
+        raise NotImplementedError(f"{self.name} backend has no kernel offload")
+
+    def stage_complete(self) -> None:
+        """End-of-stage hook (scratch sweeps); default no-op."""
+
+    def shutdown(self) -> None:
+        raise NotImplementedError
+
+
+class ThreadBackend(ExecutionBackend):
+    """The historical deterministic thread pool."""
+
+    name = "threads"
+    supports_kernel_offload = False
+
+    def __init__(self, total_slots: int, *, metrics=None) -> None:
+        if total_slots < 1:
+            raise ValueError("total_slots must be >= 1")
+        self.total_slots = total_slots
+        self._metrics = metrics
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.total_slots, thread_name_prefix="executor"
+                )
+            return self._pool
+
+    def run_tasks(
+        self, thunks: list[Callable[[], Any]], sequential: bool = False
+    ) -> list[Any]:
+        """Run a stage's tasks; returns results in task order.
+
+        Exceptions propagate only after every submitted task settles
+        (finished, failed, or cancelled before starting), so a failing
+        task cannot leave stragglers mutating shared shuffle state.  On
+        the first failure, tasks that have not started yet are cancelled
+        rather than run to completion.
+
+        ``sequential`` forces in-order, one-at-a-time execution in the
+        calling thread — the chaos determinism contract (see
+        :mod:`repro.sparkle.chaos`).
+        """
+        if not thunks:
+            return []
+        if sequential or self.total_slots == 1 or len(thunks) == 1:
+            return [t() for t in thunks]
+        pool = self._ensure_pool()
+        futures = [pool.submit(t) for t in thunks]
+        first_error: BaseException | None = None
+        # as_completed drains every future (cancelled ones included), so
+        # by the time we raise, nothing is still running.
+        for fut in as_completed(futures):
+            if fut.cancelled():
+                continue
+            exc = fut.exception()
+            if exc is not None and first_error is None:
+                first_error = exc
+                for other in futures:
+                    other.cancel()
+        if first_error is not None:
+            raise first_error
+        return [fut.result() for fut in futures]
+
+    def shutdown(self) -> None:
+        """Tear the pool down without waiting on queued stragglers.
+
+        ``cancel_futures=True`` cancels every task that has not started
+        yet, so a hung or slow straggler deep in the queue cannot block
+        engine teardown forever; tasks already running are still joined
+        (they may be mutating shared shuffle state).
+        """
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+
+
+# ----------------------------------------------------------------------
+# process backend: worker-side machinery (must be module-level for fork
+# AND spawn start methods)
+# ----------------------------------------------------------------------
+_WORKER_KERNEL_CACHE: dict[bytes, Any] = {}
+
+
+def _worker_init() -> None:  # pragma: no cover - runs in worker processes
+    """Keep worker resource trackers away from driver-owned segments.
+
+    Attaching a ``SharedMemory`` registers it with the *worker's*
+    resource tracker, which would unlink still-live segments (with a
+    leak warning) when the worker exits.  The driver's arena is the
+    sole owner; workers only ever attach and close.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(name, rtype):
+        if rtype == "shared_memory":
+            return
+        original(name, rtype)
+
+    resource_tracker.register = register
+
+
+def _resolve_operand(desc, x, attached, opened):
+    """Materialize one of u/v/w from its transport descriptor."""
+    if desc is None:
+        return None
+    kind = desc[0]
+    if kind == "alias-x":
+        return x
+    if kind == "alias":
+        return attached[desc[1]]
+    if kind == "inline":
+        return desc[1]
+    if kind == "shm":
+        from multiprocessing import shared_memory
+
+        _, name, offset, shape, dtype = desc
+        shm = shared_memory.SharedMemory(name=name)
+        opened.append(shm)
+        arr = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+        )
+        arr.flags.writeable = False
+        return arr
+    raise ValueError(f"unknown operand descriptor {kind!r}")
+
+
+def _kernel_task(
+    kernel_blob: bytes,
+    case: str,
+    xdesc: tuple[str, tuple[int, ...], str],
+    udesc,
+    vdesc,
+    wdesc,
+    gi0: int,
+    gj0: int,
+    gk0: int,
+    n_global: int,
+    want_stats: bool,
+):  # pragma: no cover - exercised in worker processes
+    """Worker body: attach the scratch tile, update it in place.
+
+    The updated tile travels back through shared memory — the return
+    value is only the kernel's work accounting (or ``None``).
+    """
+    from multiprocessing import shared_memory
+
+    from ..kernels.stats import KernelStats
+
+    kernel = _WORKER_KERNEL_CACHE.get(kernel_blob)
+    if kernel is None:
+        kernel = pickle.loads(kernel_blob)
+        if len(_WORKER_KERNEL_CACHE) > 32:
+            _WORKER_KERNEL_CACHE.clear()
+        _WORKER_KERNEL_CACHE[kernel_blob] = kernel
+    name, shape, dtype = xdesc
+    xshm = shared_memory.SharedMemory(name=name)
+    opened = [xshm]
+    try:
+
+        def _run():
+            x = np.ndarray(shape, dtype=np.dtype(dtype), buffer=xshm.buf)
+            attached = {"x": x}
+            operands = {}
+            for role, desc in (("u", udesc), ("v", vdesc), ("w", wdesc)):
+                arr = _resolve_operand(desc, x, attached, opened)
+                attached[role] = arr
+                operands[role] = arr
+            stats = KernelStats() if want_stats else None
+            kernel.run(
+                case,
+                x,
+                operands["u"],
+                operands["v"],
+                operands["w"],
+                gi0,
+                gj0,
+                gk0,
+                n_global,
+                stats=stats,
+            )
+            return stats
+
+        # Views live only inside _run's frame, so the close() below is
+        # not blocked by exported buffers.
+        return _run()
+    finally:
+        for shm in opened:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+
+class ProcessBackend(ThreadBackend):
+    """Thread orchestration plus a process pool for the kernel math."""
+
+    name = "processes"
+
+    def __init__(
+        self,
+        total_slots: int,
+        *,
+        num_workers: int,
+        metrics=None,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(total_slots, metrics=metrics)
+        if not shm_supported():  # pragma: no cover - platform gate
+            raise RuntimeError(
+                "the process backend needs multiprocessing.shared_memory"
+            )
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.arena = SegmentArena(metrics=metrics)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.start_method = start_method
+        ctx = multiprocessing.get_context(start_method)
+        # Eager creation: fork from the constructor's (driver) thread,
+        # before executor threads and their locks exist.
+        self._workers = ProcessPoolExecutor(
+            max_workers=num_workers, mp_context=ctx, initializer=_worker_init
+        )
+
+    @property
+    def supports_kernel_offload(self) -> bool:  # type: ignore[override]
+        return self._workers is not None
+
+    # -- offload -------------------------------------------------------
+    def _operand_desc(self, arr, x, seen: dict[int, str], role: str):
+        """Transport descriptor for one of u/v/w (cheapest available)."""
+        if arr is None:
+            return None
+        if arr is ALIAS_X or arr is x:
+            return ("alias-x",)
+        known = seen.get(id(arr))
+        if known is not None:
+            return ("alias", known)
+        seen[id(arr)] = role
+        shm_name = getattr(arr, "shm_name", None)
+        # Attach-by-name only while the slab is still registered: a
+        # block retired between fetch and offload (release_nested) keeps
+        # this view readable but unlinks the name — ship inline then.
+        if (
+            shm_name is not None
+            and isinstance(arr, ShmArray)
+            and self.arena.is_live(shm_name)
+        ):
+            return ("shm", shm_name, int(arr.shm_offset), arr.shape, arr.dtype.str)
+        return ("inline", np.ascontiguousarray(arr))
+
+    def run_kernel(
+        self,
+        kernel_blob: bytes,
+        case: str,
+        x: np.ndarray,
+        u: Any,
+        v: Any,
+        w: Any,
+        gi0: int,
+        gj0: int,
+        gk0: int,
+        n_global: int,
+        want_stats: bool = False,
+    ):
+        """Stage X to scratch shm, update it in a worker, copy it out.
+
+        The scratch staging *is* the defensive copy the thread path
+        takes (`tile.copy()`), so each offloaded call counts one copy
+        eliminated.  The scratch segment is freed in ``finally`` —
+        chaos-injected task deaths cannot leak it (and the scheduler's
+        end-of-stage :meth:`stage_complete` sweep backstops even that).
+        """
+        if self._workers is None:
+            raise RuntimeError("process backend is shut down")
+        name, staged = self.arena.stage_scratch(x)
+        try:
+            xdesc = (name, staged.shape, staged.dtype.str)
+            seen: dict[int, str] = {}
+            udesc = self._operand_desc(u, x, seen, "u")
+            vdesc = self._operand_desc(v, x, seen, "v")
+            wdesc = self._operand_desc(w, x, seen, "w")
+            stats = self._workers.submit(
+                _kernel_task,
+                kernel_blob,
+                case,
+                xdesc,
+                udesc,
+                vdesc,
+                wdesc,
+                gi0,
+                gj0,
+                gk0,
+                n_global,
+                want_stats,
+            ).result()
+            out = np.array(staged)  # fresh, caller-owned result tile
+            if self._metrics is not None:
+                self._metrics.kernel_offloads += 1
+                self._metrics.copies_eliminated += 1
+            return out, stats
+        finally:
+            del staged
+            self.arena.free(name)
+
+    # -- lifecycle -----------------------------------------------------
+    def stage_complete(self) -> None:
+        self.arena.sweep_scratch()
+
+    def shutdown(self) -> None:
+        workers, self._workers = self._workers, None
+        if workers is not None:
+            workers.shutdown(wait=True, cancel_futures=True)
+        self.arena.cleanup()
+        super().shutdown()
+
+
+def make_backend(
+    name: str, *, total_slots: int, num_workers: int, metrics=None
+) -> ExecutionBackend:
+    """Build a backend by CLI name (``threads`` | ``processes``)."""
+    if name == "threads":
+        return ThreadBackend(total_slots, metrics=metrics)
+    if name == "processes":
+        return ProcessBackend(
+            total_slots, num_workers=num_workers, metrics=metrics
+        )
+    raise ValueError(f"unknown backend {name!r} (expected one of {BACKENDS})")

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..util import sizeof_block
+from .backend import BACKENDS
 from .broadcast import Broadcast
 from .chaos import FaultPlan
 from .durable import DurableBlockStore
@@ -95,6 +96,14 @@ class SparkleContext:
         and shuffle spill.  Defaults to ``<checkpoint_dir>/spill`` when
         a checkpoint dir is set, else a temporary directory removed in
         :meth:`stop`.  Ignored without ``memory_budget_bytes``.
+    backend:
+        Execution backend: ``"threads"`` (default — the historical
+        deterministic in-process pool) or ``"processes"`` (one worker
+        process per simulated executor; kernel tile updates run past the
+        GIL, tiles move through shared-memory segments and pickle-5
+        out-of-band buffers).  Results are bit-identical across
+        backends; ``"threads"`` remains the reference data plane for
+        the chaos / durability / memory determinism contracts.
     """
 
     def __init__(
@@ -116,6 +125,7 @@ class SparkleContext:
         checkpoint_dir: str | None = None,
         memory_budget_bytes: int | None = None,
         spill_dir: str | None = None,
+        backend: str = "threads",
     ) -> None:
         self.num_executors = num_executors
         self.cores_per_executor = cores_per_executor
@@ -126,12 +136,23 @@ class SparkleContext:
         )
         if self.default_parallelism < 1:
             raise ValueError("default_parallelism must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.backend = backend
         self.metrics = EngineMetrics()
+        self.metrics.backend = backend
         self.failure_injector = failure_injector
         self.fault_plan = fault_plan
         self._executors = ExecutorPool(
-            num_executors, cores_per_executor, metrics=self.metrics
+            num_executors,
+            cores_per_executor,
+            metrics=self.metrics,
+            backend=backend,
         )
+        #: shared-memory arena of the process backend (None for threads)
+        self.arena = getattr(self._executors.backend, "arena", None)
         self.memory_manager: MemoryManager | None = None
         self.spill_store: DurableBlockStore | None = None
         self._spill_tmpdir: str | None = None
@@ -164,16 +185,23 @@ class SparkleContext:
             memory=self.memory_manager,
             spill=self.spill_store,
             metrics=self.metrics,
+            # Process backend: stage map outputs as pickle-5 streams with
+            # identity-deduplicated out-of-band buffers (physical bytes).
+            serialize=(backend == "processes"),
         )
         self._block_manager = BlockManager(
             cache_capacity_bytes,
             memory=self.memory_manager,
             spill=self.spill_store,
             metrics=self.metrics,
+            arena=self.arena,
         )
         self.durable_store: DurableBlockStore | None = None
         self.shared_storage = SharedStorage(
-            self.metrics, storage_capacity_bytes, fault_plan=fault_plan
+            self.metrics,
+            storage_capacity_bytes,
+            fault_plan=fault_plan,
+            arena=self.arena,
         )
         self._scheduler = DAGScheduler(
             self,
@@ -221,6 +249,7 @@ class SparkleContext:
             self.num_executors,
             self.metrics,
             fault_plan=self.fault_plan,
+            arena=self.arena,
         )
         self._next_broadcast_id += 1
         return bc

@@ -2,11 +2,14 @@
 
 One :class:`ExecutorPool` models ``num_executors`` executors with
 ``cores_per_executor`` task slots each (the Spark ``executor-cores``
-knob).  Tasks run on a shared thread pool sized to the total slot count;
-each task is *assigned* to an executor deterministically by partition id
-so metrics and the cost model can reason about per-executor load and
-locality exactly as the paper does (one executor per compute node,
-§V-B).
+knob).  Placement, health and blacklisting live here; *execution* is
+delegated to a pluggable :class:`~repro.sparkle.backend.
+ExecutionBackend` — the default deterministic thread pool, or the
+multicore process backend (one worker process per simulated executor)
+that offloads kernel math past the GIL.  Each task is *assigned* to an
+executor deterministically by partition id so metrics and the cost
+model can reason about per-executor load and locality exactly as the
+paper does (one executor per compute node, §V-B).
 
 Fault tolerance hooks: the scheduler can *blacklist* an executor after
 repeated faults — placement then round-robins over the remaining healthy
@@ -20,9 +23,9 @@ from __future__ import annotations
 import threading
 import time
 import warnings
-from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Any, Callable
 
+from .backend import ExecutionBackend, make_backend
 from .errors import LastExecutorProtectedWarning
 
 __all__ = ["ExecutorPool"]
@@ -32,7 +35,12 @@ class ExecutorPool:
     """Fixed pool of task slots spread over simulated executors."""
 
     def __init__(
-        self, num_executors: int, cores_per_executor: int, *, metrics=None
+        self,
+        num_executors: int,
+        cores_per_executor: int,
+        *,
+        metrics=None,
+        backend: str | ExecutionBackend = "threads",
     ) -> None:
         if num_executors < 1 or cores_per_executor < 1:
             raise ValueError("executors and cores must be >= 1")
@@ -40,7 +48,15 @@ class ExecutorPool:
         self.cores_per_executor = cores_per_executor
         self.total_slots = num_executors * cores_per_executor
         self._metrics = metrics
-        self._pool: ThreadPoolExecutor | None = None
+        if isinstance(backend, ExecutionBackend):
+            self.backend = backend
+        else:
+            self.backend = make_backend(
+                backend,
+                total_slots=self.total_slots,
+                num_workers=num_executors,
+                metrics=metrics,
+            )
         self._lock = threading.Lock()
         self._blacklisted: set[int] = set()
         # Atomic snapshot read by executor_for without locking.
@@ -94,51 +110,22 @@ class ExecutorPool:
             return True
 
     # ------------------------------------------------------------------
-    # execution
+    # execution (delegated to the backend)
     # ------------------------------------------------------------------
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        with self._lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.total_slots, thread_name_prefix="executor"
-                )
-            return self._pool
-
     def run_tasks(
         self, thunks: list[Callable[[], Any]], sequential: bool = False
     ) -> list[Any]:
         """Run a stage's tasks; returns results in task order.
 
-        Exceptions propagate only after every submitted task settles
-        (finished, failed, or cancelled before starting), so a failing
-        task cannot leave stragglers mutating shared shuffle state.  On
-        the first failure, tasks that have not started yet are cancelled
-        rather than run to completion.
-
-        ``sequential`` forces in-order, one-at-a-time execution in the
-        calling thread — the chaos determinism contract (see
-        :mod:`repro.sparkle.chaos`).
+        See :meth:`~repro.sparkle.backend.ThreadBackend.run_tasks` for
+        the settle/cancel and ``sequential`` (chaos determinism)
+        semantics, which every backend honours.
         """
-        if not thunks:
-            return []
-        if sequential or self.total_slots == 1 or len(thunks) == 1:
-            return [t() for t in thunks]
-        pool = self._ensure_pool()
-        futures = [pool.submit(t) for t in thunks]
-        first_error: BaseException | None = None
-        # as_completed drains every future (cancelled ones included), so
-        # by the time we raise, nothing is still running.
-        for fut in as_completed(futures):
-            if fut.cancelled():
-                continue
-            exc = fut.exception()
-            if exc is not None and first_error is None:
-                first_error = exc
-                for other in futures:
-                    other.cancel()
-        if first_error is not None:
-            raise first_error
-        return [fut.result() for fut in futures]
+        return self.backend.run_tasks(thunks, sequential=sequential)
+
+    def _ensure_pool(self):
+        """The backend's thread pool (test/diagnostic hook)."""
+        return self.backend._ensure_pool()
 
     def run_task_timed(self, thunk: Callable[[], Any]) -> tuple[Any, float]:
         """Run one task inline, returning ``(result, wall_seconds)``."""
@@ -147,14 +134,6 @@ class ExecutorPool:
         return out, time.perf_counter() - start
 
     def shutdown(self) -> None:
-        """Tear the pool down without waiting on queued stragglers.
-
-        ``cancel_futures=True`` cancels every task that has not started
-        yet, so a hung or slow straggler deep in the queue cannot block
-        engine teardown forever; tasks already running are still joined
-        (they may be mutating shared shuffle state).
-        """
-        with self._lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True, cancel_futures=True)
-                self._pool = None
+        """Tear the backend down (threads joined, worker processes
+        reaped, shared-memory segments unlinked)."""
+        self.backend.shutdown()

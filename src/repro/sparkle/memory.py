@@ -143,6 +143,13 @@ class MemoryManager:
         spill or queue).  ``force=True`` grants unconditionally — the
         deadlock-freedom escape hatch for first reservations, metered as
         ``forced_grants`` when it actually oversubscribes.
+
+        Byte exactness holds across execution backends: a tile re-homed
+        into a shared-memory segment (process backend) reports the same
+        ``ndarray.nbytes`` as its in-process original, and serialized
+        shuffle staging reserves the *physical* (deduplicated) payload
+        size — so the ledger always matches resident bytes, never a
+        logical overcount.
         """
         if pool not in POOLS:
             raise ValueError(f"unknown memory pool {pool!r}")

@@ -165,6 +165,23 @@ class EngineMetrics:
     last_executor_protected: int = 0
     #: aborted shuffle-map stages whose partial outputs were reclaimed
     shuffle_partial_cleanups: int = 0
+    # ---- data plane counters (execution backend / zero-copy) ----------
+    #: which execution backend the context ran (``threads``/``processes``)
+    backend: str = "threads"
+    #: kernel tile updates offloaded to worker processes
+    kernel_offloads: int = 0
+    #: defensive ``tile.copy()`` calls the data plane made redundant
+    copies_eliminated: int = 0
+    #: shared-memory segments created by the arena
+    shm_segments_created: int = 0
+    #: shared-memory segments unlinked (must equal created at stop)
+    shm_segments_freed: int = 0
+    #: payload bytes placed into shared-memory segments
+    shm_bytes_shared: int = 0
+    #: map outputs staged via pickle-5 out-of-band serialization
+    serialized_shuffle_writes: int = 0
+    #: logical-minus-physical staged bytes saved by buffer identity dedup
+    shuffle_bytes_deduplicated: int = 0
 
     def new_job(self, action: str) -> JobTrace:
         trace = JobTrace(job_id=len(self.jobs), action=action)
@@ -233,6 +250,19 @@ class EngineMetrics:
             "shuffle_partial_cleanups": self.shuffle_partial_cleanups,
         }
 
+    def data_plane_summary(self) -> dict[str, Any]:
+        """Backend / zero-copy transport accounting for one run."""
+        return {
+            "backend": self.backend,
+            "kernel_offloads": self.kernel_offloads,
+            "copies_eliminated": self.copies_eliminated,
+            "shm_segments_created": self.shm_segments_created,
+            "shm_segments_freed": self.shm_segments_freed,
+            "shm_bytes_shared": self.shm_bytes_shared,
+            "serialized_shuffle_writes": self.serialized_shuffle_writes,
+            "shuffle_bytes_deduplicated": self.shuffle_bytes_deduplicated,
+        }
+
     def durability_summary(self) -> dict[str, Any]:
         """Journal/checkpoint-store accounting for one run."""
         return {
@@ -261,4 +291,5 @@ class EngineMetrics:
         out.update(self.recovery_summary())
         out.update(self.durability_summary())
         out.update(self.memory_summary())
+        out.update(self.data_plane_summary())
         return out

@@ -199,7 +199,14 @@ class DAGScheduler:
         mm = getattr(self.ctx, "memory_manager", None)
         if mm is not None:
             thunks = [self._admitted(t, mm) for t in thunks]
-        return self.ctx._executors.run_tasks(thunks, sequential=sequential)
+        try:
+            return self.ctx._executors.run_tasks(thunks, sequential=sequential)
+        finally:
+            # Stage boundary: the backend reclaims transient data-plane
+            # state (e.g. shared-memory scratch abandoned by a task a
+            # chaos fault killed mid-kernel).  Runs on abort too so
+            # injected failures cannot leak segments.
+            self.ctx._executors.backend.stage_complete()
 
     @staticmethod
     def _admitted(thunk: Callable[[], Any], mm) -> Callable[[], Any]:

@@ -46,6 +46,7 @@ from .errors import (
     StorageCapacityError,
     TransientIOError,
 )
+from .serialize import SerializedMapOutput, pack_map_output
 
 __all__ = ["ShuffleManager"]
 
@@ -55,8 +56,30 @@ def _pair_size(item: tuple[Any, Any]) -> int:
     return 16 + sizeof_block(value)  # key assumed small/fixed
 
 
+def _bucket_items(payload, reduce_partition: int) -> list:
+    """One reducer's chunk from either staging representation."""
+    if isinstance(payload, SerializedMapOutput):
+        return payload.bucket(reduce_partition)
+    return payload.get(reduce_partition, [])
+
+
 class ShuffleManager:
-    """In-memory shuffle store with byte accounting and spill-to-disk."""
+    """In-memory shuffle store with byte accounting and spill-to-disk.
+
+    With ``serialize=True`` (the process backend's default), map outputs
+    are staged as :class:`~repro.sparkle.serialize.SerializedMapOutput`
+    blocks — pickle-5 streams whose NumPy tiles live out-of-band in an
+    identity-deduplicated buffer pool.  Staged (and ``total_bytes_
+    written``) accounting then reflects *physical* bytes: a pivot tile
+    fanned out to every consumer is staged once, not once per consumer.
+    Task-level trace accounting (`TaskRecord.shuffle_bytes_written`)
+    follows the same physical numbers, which is exactly the
+    communication-volume reduction the data plane is for; the default
+    by-reference mode keeps the historical logical accounting the
+    analytical counts model is validated against.  Reducers deserialize
+    their bucket into fresh items whose tiles are read-only zero-copy
+    views over the staged buffers.
+    """
 
     def __init__(
         self,
@@ -66,11 +89,13 @@ class ShuffleManager:
         memory=None,
         spill=None,
         metrics=None,
+        serialize: bool = False,
     ) -> None:
         self.capacity_bytes = capacity_bytes
         self.fault_plan = fault_plan
         self.memory = memory
         self.spill = spill
+        self.serialize = serialize
         self._metrics = metrics
         self._lock = threading.Lock()
         # (shuffle_id, map_partition) -> {reduce_partition: [items]}
@@ -118,10 +143,19 @@ class ShuffleManager:
                 f"map partition {map_partition}"
             )
         nbytes = sum(_pair_size(item) for items in buckets.values() for item in items)
+        payload: Any = buckets
+        if self.serialize:
+            payload = pack_map_output(buckets, nbytes)
+            if self._metrics is not None:
+                self._metrics.serialized_shuffle_writes += 1
+                saved = nbytes - payload.nbytes
+                if saved > 0:
+                    self._metrics.shuffle_bytes_deduplicated += saved
+            nbytes = payload.nbytes
         key = (shuffle_id, map_partition)
         with self._lock:
             if self.memory is not None:
-                self._write_governed_locked(key, buckets, nbytes)
+                self._write_governed_locked(key, payload, nbytes)
                 self.total_bytes_written += nbytes
                 return nbytes
             if self.capacity_bytes is not None:
@@ -134,7 +168,7 @@ class ShuffleManager:
             # Idempotent overwrite: retried/speculative map tasks re-stage
             # the same output.
             stale = self._output_bytes.pop(key, 0)
-            self._outputs[key] = buckets
+            self._outputs[key] = payload
             self._output_bytes[key] = nbytes
             self._bytes_by_shuffle[shuffle_id] = (
                 self._bytes_by_shuffle.get(shuffle_id, 0) - stale + nbytes
@@ -257,8 +291,8 @@ class ShuffleManager:
             if missing:
                 raise ShuffleFetchFailed(shuffle_id, missing)
             for mp in range(num_map_partitions):
-                buckets = self._fetch_one_locked((shuffle_id, mp))
-                chunk = buckets.get(reduce_partition, ())
+                payload = self._fetch_one_locked((shuffle_id, mp))
+                chunk = _bucket_items(payload, reduce_partition)
                 items.extend(chunk)
                 if remote_map_partition is not None and remote_map_partition(mp):
                     remote += sum(_pair_size(item) for item in chunk)

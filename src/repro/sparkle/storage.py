@@ -26,6 +26,7 @@ from .errors import (
     StorageCapacityError,
     TransientIOError,
 )
+from .serialize import release_nested, share_nested
 
 __all__ = ["BlockManager", "SharedStorage"]
 
@@ -57,6 +58,7 @@ class BlockManager:
         memory=None,
         spill=None,
         metrics=None,
+        arena=None,
     ) -> None:
         from collections import OrderedDict
 
@@ -70,6 +72,7 @@ class BlockManager:
         self.capacity_bytes = capacity_bytes
         self.memory = memory
         self.spill = spill
+        self.arena = arena
         self._metrics = metrics
         self.evictions = 0
 
@@ -85,6 +88,13 @@ class BlockManager:
         level: str = "MEMORY_AND_DISK",
     ) -> None:
         key = (rdd_id, partition)
+        if self.arena is not None:
+            # Process backend: park cached tile payloads in shared
+            # memory so later kernel offloads pass them as segment
+            # descriptors (zero-copy) instead of re-serializing.  The
+            # shared views are read-only — consumers copy before
+            # mutating, which is the engine-wide retry-purity rule.
+            items = share_nested(self.arena, items)
         nbytes = sum(sizeof_block(x) for x in items)
         if self.memory is not None:
             self._put_governed(key, items, nbytes, level)
@@ -95,15 +105,20 @@ class BlockManager:
                 and nbytes > self.capacity_bytes
             ):
                 return  # single block larger than the cache: skip caching
+            old = self._blocks.get(key)
             self._live_bytes += nbytes - self._bytes.get(key, 0)
             self._blocks[key] = items
             self._blocks.move_to_end(key)
             self._bytes[key] = nbytes
+            if old is not None and self.arena is not None and old is not items:
+                release_nested(self.arena, old)
             if self.capacity_bytes is not None:
                 while self._live_bytes > self.capacity_bytes and len(self._blocks) > 1:
-                    victim, _ = self._blocks.popitem(last=False)
+                    victim, victim_items = self._blocks.popitem(last=False)
                     self._live_bytes -= self._bytes.pop(victim)
                     self.evictions += 1
+                    if self.arena is not None:
+                        release_nested(self.arena, victim_items)
 
     def _put_governed(
         self, key: tuple[int, int], items: list, nbytes: int, level: str
@@ -141,6 +156,11 @@ class BlockManager:
         self.memory.release("storage", owner, nbytes)
         if self.spill is not None and level == "MEMORY_AND_DISK":
             self._spill_items(victim, items, nbytes)
+        # Spill pickles (copies) the payload, so the shm allocation is
+        # releasable either way — the ledger and the resident shm pages
+        # shrink together.
+        if self.arena is not None:
+            release_nested(self.arena, items)
 
     def _spill_items(self, key: tuple[int, int], items: list, nbytes: int) -> None:
         self.spill.put(self._spill_key(key), items)
@@ -150,13 +170,15 @@ class BlockManager:
             self._metrics.spill_bytes_written += nbytes
 
     def _drop_locked(self, key: tuple[int, int]) -> None:
-        self._blocks.pop(key, None)
+        items = self._blocks.pop(key, None)
         nbytes = self._bytes.pop(key, 0)
         self._levels.pop(key, None)
         owner = self._owners.pop(key, None)
         self._live_bytes -= nbytes
         if self.memory is not None and nbytes:
             self.memory.release("storage", owner, nbytes)
+        if self.arena is not None and items is not None:
+            release_nested(self.arena, items)
 
     def get(self, rdd_id: int, partition: int) -> list | None:
         key = (rdd_id, partition)
@@ -233,6 +255,7 @@ class SharedStorage:
         capacity_bytes: int | None = None,
         fault_plan=None,
         backing=None,
+        arena=None,
     ) -> None:
         self._data: dict[Any, Any] = {}
         self._bytes: dict[Any, int] = {}
@@ -242,9 +265,19 @@ class SharedStorage:
         self.capacity_bytes = capacity_bytes
         self.fault_plan = fault_plan
         self.backing = backing
+        self.arena = arena
 
     def put(self, key: Any, value: Any) -> int:
-        """Store a block; returns its byte size."""
+        """Store a block; returns its byte size.
+
+        With a shared-memory arena attached (process backend), ndarray
+        payloads are placed in shared segments: the CB pivot/band tiles
+        every consumer task reads become zero-copy operands for
+        offloaded kernels.  Byte accounting is unchanged — a shared
+        view reports the same exact ``nbytes``.
+        """
+        if self.arena is not None:
+            value = share_nested(self.arena, value)
         nbytes = sizeof_block(value)
         with self._lock:
             live = self._live_bytes - self._bytes.get(key, 0)
@@ -253,9 +286,12 @@ class SharedStorage:
                     f"shared storage put of {nbytes} B exceeds capacity "
                     f"({live} B live of {self.capacity_bytes} B)"
                 )
+            old = self._data.get(key)
             self._data[key] = value
             self._bytes[key] = nbytes
             self._live_bytes = live + nbytes
+            if old is not None and self.arena is not None and old is not value:
+                release_nested(self.arena, old)
             if self._metrics is not None:
                 self._metrics.storage_bytes_written += nbytes
                 self._metrics.storage_puts += 1
@@ -295,6 +331,9 @@ class SharedStorage:
     def clear(self) -> None:
         """Drop the in-memory view (durable backing blocks are kept)."""
         with self._lock:
+            if self.arena is not None:
+                for value in self._data.values():
+                    release_nested(self.arena, value)
             self._data.clear()
             self._bytes.clear()
             self._live_bytes = 0

@@ -86,6 +86,122 @@ class TestIterativeTileKernel:
         assert_tables_equal(fast, slow)
 
 
+@pytest.mark.parametrize("name", SPECS)
+class TestMaskHoistFastPath:
+    """The vectorized kernel's hoisted fast path (no per-``kk`` mask /
+    activity probes) must be indistinguishable from the general path —
+    and from the scalar loop — wherever it fires."""
+
+    def test_fast_and_masked_tiles_match_loop(self, name):
+        spec, make = SPECS[name]
+        n, r = 16, 4
+        full = make(n, seed=13).copy()
+        # Walk every tile of the second pivot step: GE tiles touching
+        # the pivot row/column band take the masked path, tiles strictly
+        # below/right of it take the hoisted path, FW/TC always hoist.
+        gk0 = 4
+        for gi0 in range(0, n, r):
+            for gj0 in range(0, n, r):
+                x1 = full[gi0 : gi0 + r, gj0 : gj0 + r].copy()
+                x2 = x1.copy()
+                u = full[gi0 : gi0 + r, gk0 : gk0 + r].copy()
+                v = full[gk0 : gk0 + r, gj0 : gj0 + r].copy()
+                w = full[gk0 : gk0 + r, gk0 : gk0 + r].copy()
+                gep_tile_update(spec, x1, u, v, w, gi0, gj0, gk0, n)
+                gep_tile_update_loop(spec, x2, u, v, w, gi0, gj0, gk0, n)
+                assert_tables_equal(x1, x2)
+
+    def test_fast_path_fires_where_expected(self, name, monkeypatch):
+        """Below/right of the pivot band no per-step probe runs at all."""
+        spec, make = SPECS[name]
+        n, r, gk0 = 16, 4, 4
+        calls = {"mask": 0}
+        orig = type(spec).sigma_mask
+
+        def counting_mask(self, gi0, gj0, shape, gk):
+            calls["mask"] += 1
+            return orig(self, gi0, gj0, shape, gk)
+
+        monkeypatch.setattr(type(spec), "sigma_mask", counting_mask)
+        full = make(n, seed=3).copy()
+        x = full[8:12, 8:12].copy()
+        u = full[8:12, gk0 : gk0 + r].copy()
+        v = full[gk0 : gk0 + r, 8:12].copy()
+        w = full[gk0 : gk0 + r, gk0 : gk0 + r].copy()
+        gep_tile_update(spec, x, u, v, w, 8, 8, gk0, n)
+        # one probe from sigma_mask_free's single gk_hi-1 check; the
+        # hoisted loop itself never calls sigma_mask again
+        assert calls["mask"] == 1
+
+    def test_fast_path_stats_match_general_path(self, name):
+        spec, make = SPECS[name]
+        n, r = 12, 4
+        full = make(n, seed=8).copy()
+        x = full[8:12, 8:12].copy()
+        u = full[8:12, 0:4].copy()
+        v = full[0:4, 8:12].copy()
+        w = full[0:4, 0:4].copy()
+        fast = KernelStats()
+        gep_tile_update(spec, x.copy(), u, v, w, 8, 8, 0, n, stats=fast, case="D")
+        # Force the general path by lying about mask freedom.
+        class NoHoist(type(spec)):
+            def sigma_mask_free(self, gi0, gj0, shape, gk_lo, gk_hi):
+                return False
+
+        plain = KernelStats()
+        gep_tile_update(
+            _copy_spec(spec, NoHoist), x.copy(), u, v, w, 8, 8, 0, n,
+            stats=plain, case="D",
+        )
+        assert fast.updates == plain.updates
+        assert fast.invocations == plain.invocations
+
+
+def _copy_spec(spec, cls):
+    """A shallow clone of ``spec`` re-typed to ``cls`` (test helper)."""
+    clone = object.__new__(cls)
+    clone.__dict__.update(spec.__dict__)
+    return clone
+
+
+def test_fast_path_respects_partial_pivot_range():
+    """GE with ``n_pivots`` short of the tile's range must not hoist —
+    inactive trailing steps would be applied by the hoisted loop."""
+    n = 12
+    spec_full = GaussianEliminationGep()
+    spec_part = GaussianEliminationGep(n_pivots=6)
+    t = ge_table(n, seed=21)
+    # pivot range [4, 8) straddles n_pivots=6: steps 6,7 are inactive
+    x_p = t[8:12, 8:12].copy()
+    x_ref = x_p.copy()
+    u = t[8:12, 4:8].copy()
+    v = t[4:8, 8:12].copy()
+    w = t[4:8, 4:8].copy()
+    gep_tile_update(spec_part, x_p, u, v, w, 8, 8, 4, n)
+    gep_tile_update_loop(spec_part, x_ref, u, v, w, 8, 8, 4, n)
+    assert_tables_equal(x_p, x_ref)
+    # and the partial result genuinely differs from the full-pivot one
+    x_full = t[8:12, 8:12].copy()
+    gep_tile_update(spec_full, x_full, u, v, w, 8, 8, 4, n)
+    assert not np.allclose(x_p, x_full)
+
+
+def test_sigma_mask_free_antitone_contract():
+    """``sigma_mask_free`` checks only ``gk_hi - 1`` — valid because
+    base-Σ mask-freedom is antitone in ``gk``.  Spot-check the claim."""
+    spec = GaussianEliminationGep()
+    n, shape = 16, (4, 4)
+    for gi0, gj0 in [(0, 0), (8, 8), (8, 0), (0, 8), (12, 12)]:
+        for gk_lo in range(0, 8):
+            for gk_hi in range(gk_lo, 8):
+                free = spec.sigma_mask_free(gi0, gj0, shape, gk_lo, gk_hi)
+                probed = all(
+                    spec.sigma_mask(gi0, gj0, shape, gk) is None
+                    for gk in range(gk_lo, gk_hi)
+                )
+                assert free == probed, (gi0, gj0, gk_lo, gk_hi)
+
+
 class TestKernelShapeValidation:
     def test_bad_pivot_shape(self, fw_spec):
         x = np.zeros((4, 4))

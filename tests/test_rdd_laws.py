@@ -75,14 +75,21 @@ OPS = {
         lambda data: [(k % 4, v) for k, v in data],
         False,
     ),
+    # Aggregating ops normalize values through _num first: an upstream
+    # groupSorted nests values in tuples while a later flatMap emits
+    # fresh ints for the same keys, and neither `tuple + int` nor
+    # sorting a mixed list is defined (in the engine *or* the
+    # reference).
     "reduceByKey": (
-        lambda rdd: rdd.reduceByKey(lambda a, b: a + b, 3),
-        lambda data: _ref_reduce_by_key(data, 3),
+        lambda rdd: rdd.mapValues(_num).reduceByKey(lambda a, b: a + b, 3),
+        lambda data: _ref_reduce_by_key([(k, _num(v)) for k, v in data], 3),
         True,
     ),
     "groupSorted": (
-        lambda rdd: rdd.groupByKey(3).mapValues(lambda v: tuple(sorted(v))),
-        lambda data: _ref_group_by_key(data, 3),
+        lambda rdd: rdd.mapValues(_num)
+        .groupByKey(3)
+        .mapValues(lambda v: tuple(sorted(v))),
+        lambda data: _ref_group_by_key([(k, _num(v)) for k, v in data], 3),
         True,
     ),
     "distinctish": (
