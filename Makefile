@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test tier1 robustness perf smoke bench
+.PHONY: test tier1 robustness supervision perf smoke bench
 
 # full suite
 test:
@@ -11,9 +11,14 @@ test:
 tier1:
 	$(PYTEST) -x -q
 
-# seeded fault-injection + durability/crash-resume + memory-governor suites
+# seeded fault-injection + durability/crash-resume + memory-governor +
+# worker-supervision suites
 robustness:
-	$(PYTEST) -q -m "chaos or durability or memory"
+	$(PYTEST) -q -m "chaos or durability or memory or supervision"
+
+# worker supervision only: heartbeats, deadlines, crash/respawn, quarantine
+supervision:
+	$(PYTEST) -q -m supervision
 
 # performance-claim gates (multicore wall-clock assertions; they
 # self-skip on hosts with < 4 cores, so this is always safe to run)

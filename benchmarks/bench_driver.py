@@ -40,9 +40,18 @@ DEFAULT_GRID = 8
 DEFAULT_SEED = 42
 
 
-def run_once(backend: str, table: np.ndarray, r: int, strategy: str):
+def run_once(
+    backend: str,
+    table: np.ndarray,
+    r: int,
+    strategy: str,
+    heartbeat_interval: float | None = None,
+):
+    ctx_kw = {}
+    if heartbeat_interval is not None:
+        ctx_kw["heartbeat_interval"] = heartbeat_interval
     with SparkleContext(
-        num_executors=4, cores_per_executor=2, backend=backend
+        num_executors=4, cores_per_executor=2, backend=backend, **ctx_kw
     ) as sc:
         spec = FloydWarshallGep()
         solver = GepSparkSolver(
@@ -113,6 +122,18 @@ def main(argv=None) -> int:
               f"offloads={rec['kernel_offloads']} "
               f"copies_eliminated={rec['copies_eliminated']}")
 
+    # Supervision overhead: the same process-backend workload with the
+    # heartbeat/watchdog machinery disabled.  The delta prices the
+    # liveness layer (shared-memory beat writes + driver-side scans);
+    # it should be noise against the kernel math.
+    out, unsup = run_once(
+        "processes", table.copy(), r, args.strategy, heartbeat_interval=0.0
+    )
+    if not np.array_equal(baseline, out):
+        raise SystemExit("unsupervised run diverges — refusing to report")
+    print(f"  {'no-heartbeat':12s} wall={unsup['wall_seconds']:8.3f}s "
+          f"(supervision off)")
+
     cpus = os.cpu_count() or 1
     t, p = runs["threads"], runs["processes"]
     report = {
@@ -140,6 +161,17 @@ def main(argv=None) -> int:
             # parallel-kernel wall-clock wins need real cores; recorded
             # honestly instead of asserted on undersized hosts
             "speedup_claim_applicable": cpus >= 4,
+        },
+        "supervision": {
+            "heartbeat_interval": 0.25,
+            "supervised_wall_seconds": p["wall_seconds"],
+            "unsupervised_wall_seconds": unsup["wall_seconds"],
+            "overhead_seconds": round(
+                p["wall_seconds"] - unsup["wall_seconds"], 4
+            ),
+            "overhead_fraction": round(
+                p["wall_seconds"] / unsup["wall_seconds"] - 1.0, 4
+            ),
         },
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

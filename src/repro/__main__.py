@@ -16,6 +16,11 @@ Commands
     Print the memory-governor counters (spill volume, pressure
     transitions, admission waits, degradations) from a solve report
     JSON written with ``solve --report``.
+``workers``
+    Print the worker-supervision counters (crashes, respawns, missed
+    heartbeats, deadlines, poison quarantines, orphan reclamations,
+    backend degradations) from a solve report JSON written with
+    ``solve --report``.
 ``tune``
     Print the analytical tuning advice for a problem on a cluster preset.
 ``experiments``
@@ -81,6 +86,34 @@ def _cmd_solve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    supervision_flags = (
+        args.heartbeat_interval is not None
+        or args.task_deadline is not None
+        or args.max_task_failures is not None
+    )
+    if supervision_flags and args.engine != "spark":
+        print(
+            "--heartbeat-interval/--task-deadline/--max-task-failures "
+            "require --engine spark",
+            file=sys.stderr,
+        )
+        return 2
+    if args.heartbeat_interval is not None and args.heartbeat_interval < 0:
+        print("--heartbeat-interval must be >= 0 (0 disables)", file=sys.stderr)
+        return 2
+    if args.task_deadline is not None and args.task_deadline <= 0:
+        print("--task-deadline must be > 0 seconds", file=sys.stderr)
+        return 2
+    if args.max_task_failures is not None and args.max_task_failures < 1:
+        print("--max-task-failures must be >= 1", file=sys.stderr)
+        return 2
+    if args.degrade_on_crash and args.backend != "processes":
+        print(
+            "--degrade-on-crash requires --backend processes (the threads "
+            "backend has nothing to degrade to)",
+            file=sys.stderr,
+        )
+        return 2
 
     table = _load_or_generate(args)
     kw = dict(
@@ -91,6 +124,13 @@ def _cmd_solve(args) -> int:
         omp_threads=args.omp,
         strategy=args.strategy,
     )
+    ctx_supervision_kw = {}
+    if args.heartbeat_interval is not None:
+        ctx_supervision_kw["heartbeat_interval"] = args.heartbeat_interval
+    if args.task_deadline is not None:
+        ctx_supervision_kw["task_deadline"] = args.task_deadline
+    if args.max_task_failures is not None:
+        ctx_supervision_kw["max_task_failures"] = args.max_task_failures
     ctx = (
         SparkleContext(
             args.executors,
@@ -100,6 +140,7 @@ def _cmd_solve(args) -> int:
             memory_budget_bytes=args.memory_budget,
             spill_dir=args.spill_dir or None,
             backend=args.backend,
+            **ctx_supervision_kw,
         )
         if args.engine == "spark"
         else None
@@ -110,6 +151,7 @@ def _cmd_solve(args) -> int:
             kw["resume"] = args.resume
             kw["max_iterations"] = args.max_iterations
             kw["degrade_on_pressure"] = args.degrade_on_pressure
+            kw["degrade_on_crash"] = args.degrade_on_crash
         try:
             if args.problem == "apsp":
                 out, report = floyd_warshall(table, return_report=True, **kw)
@@ -155,6 +197,17 @@ def _cmd_solve(args) -> int:
                 print("recovery:", report.engine_metrics.recovery_summary())
             if args.backend == "processes":
                 print("data plane:", report.engine_metrics.data_plane_summary())
+                print(
+                    "supervision:",
+                    report.engine_metrics.supervision_summary(),
+                )
+                for d in report.extras.get("backend_degradations") or []:
+                    print(
+                        f"degraded backend {d['from']}->{d['to']} at outer "
+                        f"iteration {d['at_iteration']} "
+                        f"({d['quarantined_tasks']} poison task(s) "
+                        f"quarantined)"
+                    )
             if args.memory_budget is not None:
                 print("memory:", report.engine_metrics.memory_summary())
                 if report.extras.get("degraded"):
@@ -290,6 +343,53 @@ def _cmd_memstat(args) -> int:
     return 0
 
 
+def _cmd_workers(args) -> int:
+    import json
+    import os
+
+    if not os.path.isfile(args.report):
+        print(f"no such report file: {args.report}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.report, encoding="utf-8") as fh:
+            summary = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read report: {exc}", file=sys.stderr)
+        return 2
+    counters = (
+        "worker_crashes",
+        "workers_respawned",
+        "heartbeats_missed",
+        "deadlines_exceeded",
+        "poison_tasks",
+        "orphan_segments_reclaimed",
+        "backend_degradations",
+    )
+    if not any(key in summary for key in counters):
+        print(
+            "report has no worker-supervision counters (was it written by "
+            "'solve --report' on a spark run?)",
+            file=sys.stderr,
+        )
+        return 2
+    label = summary.get("spec", "?")
+    print(
+        f"workers {args.report}: {label} "
+        f"strategy={summary.get('strategy', '?')} n={summary.get('n', '?')}"
+    )
+    for key in counters:
+        if key in summary:
+            print(f"  {key:26s} {summary[key]}")
+    extras = summary.get("extras") or {}
+    for d in extras.get("backend_degradations") or []:
+        print(
+            f"  degraded backend: {d.get('from')}->{d.get('to')} at "
+            f"iteration {d.get('at_iteration')} "
+            f"({d.get('quarantined_tasks')} poison task(s))"
+        )
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from repro.cluster import haswell16, laptop, skylake16
     from repro.core import tune
@@ -385,9 +485,32 @@ def main(argv: list[str] | None = None) -> int:
              "when memory pressure goes critical (bit-identical result); "
              "requires --memory-budget")
     solve.add_argument(
+        "--heartbeat-interval", dest="heartbeat_interval", type=float,
+        default=None, metavar="SECONDS",
+        help="worker heartbeat period for the process backend (default "
+             "0.25 s; a worker silent for 2x this is presumed hung and "
+             "SIGKILLed by the driver watchdog; 0 disables heartbeats)")
+    solve.add_argument(
+        "--task-deadline", dest="task_deadline", type=float, default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per offloaded kernel call (process "
+             "backend); an overrunning worker is killed and the call "
+             "retried through the scheduler's attempt machinery")
+    solve.add_argument(
+        "--max-task-failures", dest="max_task_failures", type=int,
+        default=None, metavar="N",
+        help="quarantine a kernel call as poison after it kills N fresh "
+             "workers (default 3)")
+    solve.add_argument(
+        "--degrade-on-crash", action="store_true",
+        help="fall back from the process backend to the thread path at the "
+             "next outer-iteration boundary once a kernel call is "
+             "quarantined as poison (bit-identical result); requires "
+             "--backend processes")
+    solve.add_argument(
         "--report", metavar="FILE", default=None,
         help="write the full solve report (engine/memory/recovery counters) "
-             "as JSON; inspect later with 'memstat FILE'")
+             "as JSON; inspect later with 'memstat FILE' or 'workers FILE'")
     solve.add_argument(
         "--chaos", metavar="SPEC", default=None,
         help="seeded fault injection for the spark engine: 'seed=42' (default "
@@ -396,7 +519,9 @@ def main(argv: list[str] | None = None) -> int:
              "mem_squeeze=0.2' "
              "(rates per site; slow takes rate:delay_seconds; torn_write/"
              "corrupt_block need --checkpoint-dir; mem_squeeze needs "
-             "--memory-budget; add parallel=1 for concurrent chaos)")
+             "--memory-budget; worker_kill/worker_hang/worker_oom "
+             "SIGKILL/SIGSTOP real worker processes and need --backend "
+             "processes; add parallel=1 for concurrent chaos)")
     solve.set_defaults(func=_cmd_solve)
 
     fsck = sub.add_parser(
@@ -408,6 +533,12 @@ def main(argv: list[str] | None = None) -> int:
         "memstat", help="print memory-governor counters from a solve report")
     memstat.add_argument("report", help="JSON file from 'solve --report'")
     memstat.set_defaults(func=_cmd_memstat)
+
+    workers = sub.add_parser(
+        "workers",
+        help="print worker-supervision counters from a solve report")
+    workers.add_argument("report", help="JSON file from 'solve --report'")
+    workers.set_defaults(func=_cmd_workers)
 
     tune_p = sub.add_parser("tune", help="analytical configuration advice")
     tune_p.add_argument("problem", choices=("apsp", "ge", "tc"))

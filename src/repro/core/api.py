@@ -48,6 +48,10 @@ def run_gep(
     spill_dir: str | None = None,
     degrade_on_pressure: bool = False,
     backend: str = "threads",
+    heartbeat_interval: float | None = None,
+    task_deadline: float | None = None,
+    max_task_failures: int | None = None,
+    degrade_on_crash: bool = False,
 ) -> tuple[np.ndarray, SolveReport | None]:
     """Run one GEP computation; returns ``(result, report_or_None)``.
 
@@ -63,6 +67,13 @@ def run_gep(
     (``"threads"`` default, or ``"processes"`` for multicore kernel
     offload — bit-identical results; construct ``sc`` with ``backend=``
     yourself to combine with a shared context).
+
+    ``heartbeat_interval``/``task_deadline``/``max_task_failures``
+    tune the worker supervision layer of an owned spark context (see
+    :class:`~repro.sparkle.supervisor.SupervisionConfig`; pass a
+    pre-configured ``sc`` otherwise), and ``degrade_on_crash`` arms the
+    solver's processes→threads fallback once a kernel call is
+    quarantined as poison.
     """
     table = np.asarray(table)
     if engine != "spark" and (checkpoint_dir is not None or resume):
@@ -85,6 +96,24 @@ def run_gep(
             "memory_budget_bytes applies to an owned context; construct the "
             "SparkleContext with memory_budget_bytes instead"
         )
+    supervision_kw = {
+        "heartbeat_interval": heartbeat_interval,
+        "task_deadline": task_deadline,
+        "max_task_failures": max_task_failures,
+    }
+    supervision_set = {k for k, v in supervision_kw.items() if v is not None}
+    if supervision_set and engine != "spark":
+        names = "/".join(sorted(supervision_set))
+        verb = "requires" if len(supervision_set) == 1 else "require"
+        raise ValueError(f"{names} {verb} engine='spark'")
+    if supervision_set and sc is not None:
+        raise ValueError(
+            "supervision options apply to an owned context; construct the "
+            "SparkleContext with heartbeat_interval/task_deadline/"
+            "max_task_failures instead"
+        )
+    if degrade_on_crash and engine != "spark":
+        raise ValueError("degrade_on_crash requires engine='spark'")
     if engine == "reference":
         return gep_reference_vectorized(spec, table), None
 
@@ -113,11 +142,13 @@ def run_gep(
     if engine == "spark":
         owns_ctx = sc is None
         if owns_ctx:
+            ctx_kw = {k: v for k, v in supervision_kw.items() if v is not None}
             sc = SparkleContext(
                 checkpoint_dir=checkpoint_dir,
                 memory_budget_bytes=memory_budget_bytes,
                 spill_dir=spill_dir,
                 backend=backend,
+                **ctx_kw,
             )
         elif checkpoint_dir is not None:
             sc.setCheckpointDir(checkpoint_dir)
@@ -143,6 +174,7 @@ def run_gep(
                 max_iterations=max_iterations,
                 on_iteration=on_iteration,
                 degrade_on_pressure=degrade_on_pressure,
+                degrade_on_crash=degrade_on_crash,
             )
             return solver.solve(table)
         finally:
@@ -177,6 +209,10 @@ class GepRunOptions(dict):
             "spill_dir",
             "degrade_on_pressure",
             "backend",
+            "heartbeat_interval",
+            "task_deadline",
+            "max_task_failures",
+            "degrade_on_crash",
         }
     )
 

@@ -65,6 +65,7 @@ from ..sparkle.serialize import CowTile
 from ..sparkle.errors import (
     BlockNotFoundError,
     CorruptBlockError,
+    PoisonTaskError,
     ResumeMismatchError,
 )
 from ..sparkle.metrics import EngineMetrics
@@ -222,6 +223,19 @@ class GepSparkSolver:
         ``report.extras["degraded"]`` and metered as
         ``strategy_degradations``.  No-op without a memory governor or
         for non-IM strategies.
+    degrade_on_crash:
+        Graceful degradation under worker-crash storms: when the
+        process backend quarantines a poison task
+        (:class:`~repro.sparkle.errors.PoisonTaskError` — one kernel
+        call killed ``max_task_failures`` fresh workers), recompute that
+        call on the driver's deterministic thread path (bit-identical
+        math) and, at the next outer-iteration boundary, turn kernel
+        offload off for the rest of the solve — processes→threads, the
+        backend analogue of the IM→CB fallback.  Recorded on
+        ``report.extras["backend_degradations"]`` and metered as
+        ``backend_degradations``.  Without this flag a poison task
+        aborts the solve with the typed error.  No-op on the thread
+        backend.
 
     Durability protocol (when the context has a ``checkpoint_dir``): on
     every completed outer iteration the tile grid is snapshotted into
@@ -249,6 +263,7 @@ class GepSparkSolver:
         max_iterations: int | None = None,
         on_iteration: Callable[[int], None] | None = None,
         degrade_on_pressure: bool = False,
+        degrade_on_crash: bool = False,
     ) -> None:
         if strategy not in ("im", "cb", "bcast"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -265,6 +280,10 @@ class GepSparkSolver:
         self.checkpoint_every = checkpoint_every
         self.resume = resume
         self.degrade_on_pressure = degrade_on_pressure
+        self.degrade_on_crash = degrade_on_crash
+        # Set once a poison quarantine degrades the solve to the thread
+        # path; offload stays off for the rest of this solver's life.
+        self._offload_disabled = False
         self.max_iterations = max_iterations
         self.on_iteration = on_iteration
         self.spec = spec
@@ -335,12 +354,28 @@ class GepSparkSolver:
         completed = 0
         partial = False
         mm = getattr(self.sc, "memory_manager", None)
+        sup = getattr(self.sc, "supervisor", None)
         plan = self.sc.fault_plan
         active_strategy = self.strategy
         degraded_at: int | None = None
+        backend_degraded_at: int | None = None
         for k in range(start_k, nt):
             if not active(k):
                 continue
+            if (
+                self.degrade_on_crash
+                and sup is not None
+                and not self._offload_disabled
+                and sup.degrade_pending()
+            ):
+                # Backend degradation at the iteration boundary: a task
+                # was quarantined as poison mid-iteration (its tile
+                # already recomputed on the thread path); finish the
+                # solve without kernel offload — same math, same bits,
+                # no process boundary left to crash.
+                self._offload_disabled = True
+                backend_degraded_at = k
+                self.sc.metrics.backend_degradations += 1
             if mm is not None and plan is not None:
                 # Chaos: a seeded mid-solve budget shrink (the cluster
                 # losing memory headroom).  Driver-side and keyed only by
@@ -375,13 +410,16 @@ class GepSparkSolver:
                 dp = dp.checkpoint()
             if journal is not None:
                 dp = self._journal_iteration(journal, store, dp, k, nt)
-            elif self.degrade_on_pressure and mm is not None:
+            elif (self.degrade_on_pressure and mm is not None) or (
+                self.degrade_on_crash and sup is not None
+            ):
                 # The DP lineage is lazy: without the journal's
                 # per-iteration snapshot job nothing executes until the
                 # final collect, so the governor would never observe
-                # pressure at an iteration boundary.  Drain one probe
-                # job so iteration k's stages run now — stage reuse
-                # keeps this incremental, exactly like the journal path.
+                # pressure (nor the supervisor a poison quarantine) at
+                # an iteration boundary.  Drain one probe job so
+                # iteration k's stages run now — stage reuse keeps this
+                # incremental, exactly like the journal path.
                 self.sc.run_job(dp, _drain_iterator, action="pressure_probe")
             if self.on_iteration is not None:
                 self.on_iteration(k)
@@ -417,6 +455,17 @@ class GepSparkSolver:
                 "to": "cb",
                 "at_iteration": degraded_at,
             }
+        if backend_degraded_at is not None:
+            report.extras["backend_degradations"] = [
+                {
+                    "from": "processes",
+                    "to": "threads",
+                    "at_iteration": backend_degraded_at,
+                    "quarantined_tasks": (
+                        len(sup.quarantined()) if sup is not None else 0
+                    ),
+                }
+            ]
         if mm is not None:
             report.extras["memory_budget"] = mm.usage()
         if self.sc.fault_plan is not None:
@@ -562,17 +611,26 @@ class GepSparkSolver:
         retried and speculative attempts must see pristine inputs.
         """
         backend = self.sc._executors.backend
-        if backend.supports_kernel_offload:
+        if backend.supports_kernel_offload and not self._offload_disabled:
             blob = self._offload_blob()
             if blob is not None:
                 arr = tile.array if isinstance(tile, CowTile) else tile
-                out, stats = backend.run_kernel(
-                    blob, case, arr, u, v, w, gi0, gj0, gk0, n,
-                    want_stats=self.stats is not None,
-                )
-                if stats is not None and self.stats is not None:
-                    self.stats.merge(stats)
-                return out
+                try:
+                    out, stats = backend.run_kernel(
+                        blob, case, arr, u, v, w, gi0, gj0, gk0, n,
+                        want_stats=self.stats is not None,
+                    )
+                except PoisonTaskError:
+                    if not self.degrade_on_crash:
+                        raise
+                    # Quarantined as poison: recompute this one call on
+                    # the driver's thread path below (bit-identical
+                    # math); the full processes→threads degradation
+                    # lands at the next outer-iteration boundary.
+                else:
+                    if stats is not None and self.stats is not None:
+                        self.stats.merge(stats)
+                    return out
         if isinstance(tile, CowTile):
             x = tile.writable(self.sc.metrics)
         else:

@@ -34,6 +34,21 @@ pressure (admission control), and exposes ``ok``/``pressured``/
 degrading IM→CB mid-solve; the ``mem_squeeze`` chaos kind shrinks the
 budget mid-run under the seeded determinism contract.
 
+Worker liveness is supervised (:mod:`repro.sparkle.supervisor`): under
+the process backend, workers heartbeat into a shared-memory board
+watched by a driver-side watchdog (silent workers are SIGKILLed),
+offloaded kernel calls can carry wall-clock deadlines
+(``TaskDeadlineExceeded``), and a worker death runs a full crash
+protocol — orphaned scratch segments are reclaimed, the pool respawns
+under deterministic bounded backoff, and the in-flight call retries
+through the scheduler's attempt machinery (``WorkerCrashed``).  A call
+that kills ``max_task_failures`` fresh workers is quarantined
+(``PoisonTaskError``); the GEP solver's ``--degrade-on-crash`` then
+falls back to the thread backend at the next outer-iteration boundary,
+bit-identical.  The ``worker_kill``/``worker_hang``/``worker_oom``
+chaos kinds SIGKILL/SIGSTOP *real* worker processes under the same
+seeded determinism contract.
+
 The data plane is pluggable (:mod:`repro.sparkle.backend`): the default
 ``threads`` backend is the historical deterministic in-process pool,
 while ``SparkleContext(backend="processes")`` runs one worker process
@@ -65,13 +80,16 @@ from .errors import (
     JobAborted,
     JournalError,
     LastExecutorProtectedWarning,
+    PoisonTaskError,
     ResumeMismatchError,
     ShuffleFetchFailed,
     SparkleError,
     StorageCapacityError,
+    TaskDeadlineExceeded,
     TaskError,
     TaskKilled,
     TransientIOError,
+    WorkerCrashed,
 )
 from .memory import (
     MemoryManager,
@@ -88,10 +106,12 @@ from .serialize import (
     SegmentArena,
     SerializedMapOutput,
     ShmArray,
+    purge_segments,
     release_nested,
     share_nested,
     shm_supported,
 )
+from .supervisor import HeartbeatBoard, SupervisionConfig, WorkerSupervisor
 
 __all__ = [
     "SparkleContext",
@@ -143,4 +163,11 @@ __all__ = [
     "PRESSURE_PRESSURED",
     "PRESSURE_CRITICAL",
     "LastExecutorProtectedWarning",
+    "WorkerCrashed",
+    "TaskDeadlineExceeded",
+    "PoisonTaskError",
+    "SupervisionConfig",
+    "WorkerSupervisor",
+    "HeartbeatBoard",
+    "purge_segments",
 ]

@@ -35,18 +35,40 @@ driver is the classic fork-safety trap) and torn down with
 disable ``resource_tracker`` registration for shared memory — the
 driver's arena is the single owner responsible for unlinking, and a
 worker exiting must never reap segments the driver still serves.
+
+Supervision (DESIGN.md §13): every offloaded kernel call runs under the
+:mod:`~repro.sparkle.supervisor` layer — workers heartbeat into a
+shared-memory board watched by a driver watchdog, calls carry optional
+wall-clock deadlines, and a worker death (``BrokenProcessPool``) runs
+the crash protocol: reclaim the dead call's orphaned scratch segment,
+respawn the pool under deterministic bounded backoff, count the failure
+against the call's poison budget, and surface a *retryable*
+:class:`~.errors.WorkerCrashed` / :class:`~.errors.TaskDeadlineExceeded`
+so the DAGScheduler's attempt machinery re-runs the task.  A call that
+kills ``max_task_failures`` fresh workers is quarantined with
+:class:`~.errors.PoisonTaskError`.  Respawned pools use the ``spawn``
+start method: after a crash the safest worker is one that shares no
+heritage with the wreckage.
 """
 
 from __future__ import annotations
 
+import atexit
+import hashlib
+import os
 import pickle
+import signal
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Any, Callable
 
 import numpy as np
 
+from .errors import PoisonTaskError, TaskDeadlineExceeded, WorkerCrashed
 from .serialize import SegmentArena, ShmArray, shm_supported
+from .supervisor import SupervisionConfig, WorkerSupervisor, _attach_worker
 
 __all__ = [
     "ALIAS_X",
@@ -73,6 +95,10 @@ class ExecutionBackend:
     #: whether :meth:`run_kernel` is available (drivers fall back to the
     #: copy-then-update-in-place thread path when it is not)
     supports_kernel_offload: bool = False
+    #: supervision layer (process backend only; ``None`` means no real
+    #: process boundary, so there is nothing to supervise)
+    supervisor: Any = None
+    supervision: Any = None
 
     def run_tasks(
         self, thunks: list[Callable[[], Any]], sequential: bool = False
@@ -101,6 +127,12 @@ class ExecutionBackend:
 
     def shutdown(self) -> None:
         raise NotImplementedError
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
 
 
 class ThreadBackend(ExecutionBackend):
@@ -182,13 +214,15 @@ class ThreadBackend(ExecutionBackend):
 _WORKER_KERNEL_CACHE: dict[bytes, Any] = {}
 
 
-def _worker_init() -> None:  # pragma: no cover - runs in worker processes
-    """Keep worker resource trackers away from driver-owned segments.
+def _worker_init(supervision_args=None) -> None:  # pragma: no cover - worker side
+    """Keep worker resource trackers away from driver-owned segments,
+    then join the supervision layer.
 
     Attaching a ``SharedMemory`` registers it with the *worker's*
     resource tracker, which would unlink still-live segments (with a
     leak warning) when the worker exits.  The driver's arena is the
-    sole owner; workers only ever attach and close.
+    sole owner; workers only ever attach and close.  The tracker patch
+    must land before the heartbeat board attach for the same reason.
     """
     from multiprocessing import resource_tracker
 
@@ -200,6 +234,8 @@ def _worker_init() -> None:  # pragma: no cover - runs in worker processes
         original(name, rtype)
 
     resource_tracker.register = register
+    if supervision_args is not None:
+        _attach_worker(*supervision_args)
 
 
 def _resolve_operand(desc, x, attached, opened):
@@ -228,6 +264,8 @@ def _resolve_operand(desc, x, attached, opened):
 
 
 def _kernel_task(
+    token: int,
+    inject: str | None,
     kernel_blob: bytes,
     case: str,
     xdesc: tuple[str, tuple[int, ...], str],
@@ -244,11 +282,21 @@ def _kernel_task(
 
     The updated tile travels back through shared memory — the return
     value is only the kernel's work accounting (or ``None``).
+
+    ``token`` publishes this call on the heartbeat board so the driver
+    can map a deadline overrun back to this pid; ``inject`` is a
+    driver-decided real process fault (``worker_kill``/``worker_hang``/
+    ``worker_oom``) the worker executes on itself before touching the
+    kernel — the fault fires at the OS boundary, not as a simulation.
     """
     from multiprocessing import shared_memory
 
     from ..kernels.stats import KernelStats
+    from .supervisor import worker_begin_task, worker_end_task, worker_self_fault
 
+    worker_begin_task(token)
+    if inject is not None:
+        worker_self_fault(inject)
     kernel = _WORKER_KERNEL_CACHE.get(kernel_blob)
     if kernel is None:
         kernel = pickle.loads(kernel_blob)
@@ -287,6 +335,7 @@ def _kernel_task(
         # not blocked by exported buffers.
         return _run()
     finally:
+        worker_end_task()
         for shm in opened:
             try:
                 shm.close()
@@ -306,6 +355,8 @@ class ProcessBackend(ThreadBackend):
         num_workers: int,
         metrics=None,
         start_method: str | None = None,
+        supervision: SupervisionConfig | None = None,
+        fault_plan=None,
     ) -> None:
         super().__init__(total_slots, metrics=metrics)
         if not shm_supported():  # pragma: no cover - platform gate
@@ -313,21 +364,52 @@ class ProcessBackend(ThreadBackend):
                 "the process backend needs multiprocessing.shared_memory"
             )
         import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
 
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
         self.arena = SegmentArena(metrics=metrics)
+        methods = multiprocessing.get_all_start_methods()
         if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self.start_method = start_method
-        ctx = multiprocessing.get_context(start_method)
+        # Respawned pools always use spawn when the platform has it: a
+        # crash may have left the driver's fork-inherited state suspect,
+        # and a from-scratch interpreter shares nothing with the wreck.
+        self._respawn_method = "spawn" if "spawn" in methods else start_method
+        self.supervision = supervision or SupervisionConfig()
+        self.fault_plan = fault_plan
+        self.supervisor = WorkerSupervisor(
+            self.supervision,
+            slots=num_workers,
+            prefix=self.arena.prefix,
+            metrics=metrics,
+            seed=fault_plan.seed if fault_plan is not None else 0,
+        )
+        self._pool_lock = threading.Lock()
+        self._generation = 0
+        self._respawns = 0
         # Eager creation: fork from the constructor's (driver) thread,
         # before executor threads and their locks exist.
-        self._workers = ProcessPoolExecutor(
-            max_workers=num_workers, mp_context=ctx, initializer=_worker_init
+        self._workers = self._make_pool(start_method)
+        # Reap on unclean-but-orderly exits (sys.exit, uncaught error):
+        # kill registered workers, unlink arena + board.  A SIGKILLed
+        # driver never reaches atexit — that case is covered by the
+        # worker-side janitor thread (supervisor._start_janitor).
+        atexit.register(self._emergency_cleanup)
+        self.supervisor.start_watchdog()
+
+    def _make_pool(self, method: str):
+        """One pool generation, initialized into the supervision layer."""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        ctx = multiprocessing.get_context(method)
+        return ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(self.supervisor.worker_initargs(ctx),),
         )
 
     @property
@@ -378,8 +460,35 @@ class ProcessBackend(ThreadBackend):
         eliminated.  The scratch segment is freed in ``finally`` —
         chaos-injected task deaths cannot leak it (and the scheduler's
         end-of-stage :meth:`stage_complete` sweep backstops even that).
+
+        Supervised: the wait honours ``task_deadline``, a worker death
+        runs the crash protocol (:meth:`_handle_worker_death`), and a
+        seeded real process fault may be shipped along with the call.
         """
-        if self._workers is None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        sup = self.supervisor
+        coordinate = (gi0, gj0, gk0)
+        kernel_id = hashlib.blake2b(kernel_blob, digest_size=4).hexdigest()
+        task_sig = (kernel_id, case, gi0, gj0, gk0)
+        if sup.is_quarantined(task_sig):
+            raise PoisonTaskError(
+                f"kernel call case={case} tile@{coordinate} is quarantined "
+                f"(killed {sup.failures(task_sig)} workers)",
+                coordinate=coordinate,
+                case=case,
+                kernel_id=kernel_id,
+                failures=sup.failures(task_sig),
+            )
+        inject = (
+            self.fault_plan.worker_fault(case, gi0, gj0, gk0)
+            if self.fault_plan is not None
+            else None
+        )
+        with self._pool_lock:
+            workers = self._workers
+            generation = self._generation
+        if workers is None:
             raise RuntimeError("process backend is shut down")
         name, staged = self.arena.stage_scratch(x)
         try:
@@ -388,20 +497,51 @@ class ProcessBackend(ThreadBackend):
             udesc = self._operand_desc(u, x, seen, "u")
             vdesc = self._operand_desc(v, x, seen, "v")
             wdesc = self._operand_desc(w, x, seen, "w")
-            stats = self._workers.submit(
-                _kernel_task,
-                kernel_blob,
-                case,
-                xdesc,
-                udesc,
-                vdesc,
-                wdesc,
-                gi0,
-                gj0,
-                gk0,
-                n_global,
-                want_stats,
-            ).result()
+            token = sup.next_token()
+            deadline_note: dict[str, float] = {}
+            try:
+                fut = workers.submit(
+                    _kernel_task,
+                    token,
+                    inject,
+                    kernel_blob,
+                    case,
+                    xdesc,
+                    udesc,
+                    vdesc,
+                    wdesc,
+                    gi0,
+                    gj0,
+                    gk0,
+                    n_global,
+                    want_stats,
+                )
+                stats = self._await_result(fut, token, deadline_note)
+            except RuntimeError as exc:
+                # BrokenProcessPool, or a plain RuntimeError from
+                # submitting against a pool a concurrent crash handler
+                # already swapped out ("cannot schedule new futures
+                # after shutdown") — only the latter with an *unchanged*
+                # generation is a real programming error.
+                if not isinstance(exc, BrokenProcessPool):
+                    with self._pool_lock:
+                        stale = (
+                            self._workers is not None
+                            and self._generation != generation
+                        )
+                    if not stale:
+                        raise
+                self._handle_worker_death(
+                    generation,
+                    name,
+                    task_sig,
+                    coordinate,
+                    case,
+                    kernel_id,
+                    inject=inject,
+                    cause=exc,
+                    deadline_elapsed=deadline_note.get("elapsed"),
+                )
             out = np.array(staged)  # fresh, caller-owned result tile
             if self._metrics is not None:
                 self._metrics.kernel_offloads += 1
@@ -411,26 +551,204 @@ class ProcessBackend(ThreadBackend):
             del staged
             self.arena.free(name)
 
+    # -- supervision ---------------------------------------------------
+    def _await_result(self, fut, token: int, deadline_note: dict):
+        """Wait for a worker result under the per-call deadline.
+
+        No deadline: a plain blocking wait (a hang is still covered by
+        the watchdog, whose SIGKILL breaks the pool and wakes us with
+        ``BrokenProcessPool``).  With a deadline: poll-wait; on overrun,
+        cancel a still-queued call outright, else SIGKILL the worker
+        executing it — ``deadline_note`` tells the crash handler this
+        breakage was a deadline enforcement, not a spontaneous death.
+        """
+        deadline = self.supervision.task_deadline
+        if deadline is None:
+            return fut.result()
+        sup = self.supervisor
+        start = time.monotonic()
+        killed = False
+        while True:
+            try:
+                return fut.result(timeout=0.05)
+            except FuturesTimeoutError:
+                elapsed = time.monotonic() - start
+                if elapsed <= deadline or killed:
+                    continue
+                if self._metrics is not None:
+                    self._metrics.deadlines_exceeded += 1
+                if fut.cancel():
+                    # Never started — queue latency, not the task's
+                    # fault; retryable without touching any worker.
+                    raise TaskDeadlineExceeded(
+                        f"kernel call still queued after {elapsed:.3f}s "
+                        f"(deadline {deadline}s)",
+                        deadline=deadline,
+                        elapsed=elapsed,
+                    ) from None
+                deadline_note["elapsed"] = elapsed
+                pid = sup.pid_for_token(token)
+                if pid is not None:
+                    sup._signal(pid, signal.SIGKILL)
+                else:
+                    # Token not on the board (no shm board, or the call
+                    # is between submit and begin): no way to target the
+                    # one worker — reap them all rather than hang.
+                    sup.kill_workers()
+                killed = True  # pool break delivers BrokenProcessPool
+
+    def _handle_worker_death(
+        self,
+        generation: int,
+        scratch_name: str,
+        task_sig: tuple,
+        coordinate: tuple,
+        case: str,
+        kernel_id: str,
+        *,
+        inject: str | None,
+        cause: BaseException,
+        deadline_elapsed: float | None,
+    ):
+        """The crash protocol: reclaim, respawn, count, raise typed.
+
+        Always raises — :class:`PoisonTaskError` once the call has spent
+        its ``max_task_failures`` budget, else the retryable
+        :class:`TaskDeadlineExceeded` / :class:`WorkerCrashed` that the
+        scheduler's attempt machinery backs off and re-runs.
+        """
+        if self._metrics is not None:
+            self._metrics.worker_crashes += 1
+        # The dead worker can no longer write its scratch tile: reclaim
+        # the orphan immediately (run_kernel's ``finally`` free is
+        # idempotent and becomes a no-op).
+        if self.arena.free(scratch_name) and self._metrics is not None:
+            self._metrics.orphan_segments_reclaimed += 1
+        self._respawn(generation)
+        sup = self.supervisor
+        failures = sup.record_failure(task_sig)
+        reason = inject or ("deadline" if deadline_elapsed is not None else "crash")
+        if failures >= self.supervision.max_task_failures:
+            sup.quarantine(task_sig)
+            raise PoisonTaskError(
+                f"kernel call case={case} tile@{coordinate} killed "
+                f"{failures} fresh workers ({reason}); quarantined as poison",
+                coordinate=coordinate,
+                case=case,
+                kernel_id=kernel_id,
+                failures=failures,
+            ) from cause
+        if deadline_elapsed is not None:
+            raise TaskDeadlineExceeded(
+                f"kernel call case={case} tile@{coordinate} SIGKILLed after "
+                f"{deadline_elapsed:.3f}s (deadline "
+                f"{self.supervision.task_deadline}s)",
+                deadline=self.supervision.task_deadline,
+                elapsed=deadline_elapsed,
+            ) from cause
+        raise WorkerCrashed(
+            f"worker died mid-kernel ({reason}) on case={case} "
+            f"tile@{coordinate}; pool respawned (failure {failures}/"
+            f"{self.supervision.max_task_failures})",
+            reason=reason,
+        ) from cause
+
+    def _respawn(self, observed_generation: int) -> None:
+        """Reap the broken pool and start a fresh generation (once).
+
+        Single-flight: concurrent crashed calls race here, the first
+        one (by ``observed_generation``) does the work, the rest return
+        and retry against the new pool.  Sleeps the deterministic
+        bounded backoff *inside* the lock so stampeding threads queue
+        behind one respawn instead of interleaving kill/create cycles.
+        """
+        sup = self.supervisor
+        with self._pool_lock:
+            if self._workers is None or self._generation != observed_generation:
+                return
+            self._respawns += 1
+            delay = sup.respawn_delay(self._respawns)
+            if delay > 0:
+                time.sleep(delay)
+            # SIGKILL stragglers first: a SIGSTOPped (hung) worker never
+            # drains its queue, and executor shutdown alone would leave
+            # it frozen forever.
+            sup.kill_workers()
+            old = self._workers
+            try:
+                old.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken-pool teardown
+                pass
+            sup.reset_board()
+            self._workers = self._make_pool(self._respawn_method)
+            self._generation += 1
+            if self._metrics is not None:
+                self._metrics.workers_respawned += self.num_workers
+
     # -- lifecycle -----------------------------------------------------
     def stage_complete(self) -> None:
         self.arena.sweep_scratch()
 
+    def _emergency_cleanup(self) -> None:  # pragma: no cover - atexit path
+        """Last-resort reaper for drivers exiting without ``shutdown()``.
+
+        Idempotent and exception-proof: kill every registered worker,
+        drop the pool, unlink the board and the arena's segments.  The
+        healthy-exit path unregisters this before it can run.
+        """
+        try:
+            sup = self.supervisor
+            with self._pool_lock:
+                workers, self._workers = self._workers, None
+            if workers is not None:
+                sup.kill_workers()
+                try:
+                    workers.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+            sup.destroy()
+            self.arena.cleanup()
+        except Exception:
+            pass
+
     def shutdown(self) -> None:
-        workers, self._workers = self._workers, None
+        self.supervisor.stop_watchdog()
+        with self._pool_lock:
+            workers, self._workers = self._workers, None
         if workers is not None:
             workers.shutdown(wait=True, cancel_futures=True)
+        self.supervisor.destroy()
         self.arena.cleanup()
+        atexit.unregister(self._emergency_cleanup)
         super().shutdown()
 
 
 def make_backend(
-    name: str, *, total_slots: int, num_workers: int, metrics=None
+    name: str,
+    *,
+    total_slots: int,
+    num_workers: int,
+    metrics=None,
+    supervision: SupervisionConfig | None = None,
+    fault_plan=None,
 ) -> ExecutionBackend:
-    """Build a backend by CLI name (``threads`` | ``processes``)."""
+    """Build a backend by CLI name (``threads`` | ``processes``).
+
+    ``supervision``/``fault_plan`` only bite under ``processes`` — the
+    thread backend has no process boundary, so there is nothing to
+    heartbeat, kill, or respawn (its tasks run under the scheduler's
+    own simulated-fault machinery instead).
+    """
     if name == "threads":
-        return ThreadBackend(total_slots, metrics=metrics)
+        backend = ThreadBackend(total_slots, metrics=metrics)
+        backend.supervision = supervision
+        return backend
     if name == "processes":
         return ProcessBackend(
-            total_slots, num_workers=num_workers, metrics=metrics
+            total_slots,
+            num_workers=num_workers,
+            metrics=metrics,
+            supervision=supervision,
+            fault_plan=fault_plan,
         )
     raise ValueError(f"unknown backend {name!r} (expected one of {BACKENDS})")

@@ -66,9 +66,19 @@ CURRENT_TASK: ContextVar = ContextVar("sparkle_current_task", default=None)
 #: ``mem_squeeze``   the memory governor's budget shrinks at an outer-
 #:                   iteration boundary (the cluster losing headroom
 #:                   mid-solve); drives spill/backpressure/degradation
+#: ``worker_kill``   a *real* worker process SIGKILLs itself before
+#:                   running an offloaded kernel — exercises the process
+#:                   backend's crash protocol (respawn, orphan reclaim,
+#:                   retry) at the OS boundary, not a simulation
+#: ``worker_hang``   a worker SIGSTOPs itself (wedged, not dead); the
+#:                   driver watchdog detects the missed heartbeats and
+#:                   SIGKILLs it, converting the hang into a crash
+#: ``worker_oom``    a worker dies as if OOM-killed (SIGKILL, tagged as
+#:                   an out-of-memory loss in the crash ledger)
 FAULT_KINDS = (
     "kill", "lose", "slow", "storage", "bcast", "overflow",
     "torn_write", "corrupt_block", "mem_squeeze",
+    "worker_kill", "worker_hang", "worker_oom",
 )
 
 #: Modest everything-on mix used by ``FaultPlan.default`` / bare
@@ -87,6 +97,11 @@ DEFAULT_RATES = {
     "corrupt_block": 0.0,
     # Same reasoning: squeezes only bite when a memory budget is set.
     "mem_squeeze": 0.0,
+    # Real process faults only bite under the process backend, and they
+    # kill actual OS processes — strictly opt-in.
+    "worker_kill": 0.0,
+    "worker_hang": 0.0,
+    "worker_oom": 0.0,
 }
 
 DEFAULT_STRAGGLER_DELAY = 0.05
@@ -263,6 +278,29 @@ class FaultPlan:
             self.note(kind)
             return True
         return False
+
+    def worker_fault(
+        self, case: str, gi0: int, gj0: int, gk0: int
+    ) -> str | None:
+        """Real process fault for one offloaded kernel call, or ``None``.
+
+        Decided on the *driver* side, before submit, so the ledger stays
+        driver-owned; the verdict ships to the worker as an argument and
+        the worker executes it on itself (SIGKILL / SIGSTOP) before
+        touching the kernel.  Keyed by the current task attempt plus the
+        kernel-call coordinate, so a scheduler retry of the same tile
+        runs clean under the default ``max_attempt=1`` contract.
+        Driver-side calls (no current task) are never faulted.
+        """
+        task = CURRENT_TASK.get()
+        if task is None:
+            return None
+        site = (task.stage_id, task.partition, task.attempt, case, gi0, gj0, gk0)
+        for kind in ("worker_kill", "worker_oom", "worker_hang"):
+            if self._decide(kind, task.attempt, site):
+                self.note(kind)
+                return kind
+        return None
 
     def mem_squeeze(self, iteration: int) -> float:
         """Budget shrink factor at an outer-iteration boundary.

@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 from ..util import sizeof_block
 from .backend import BACKENDS
 from .broadcast import Broadcast
+from .supervisor import SupervisionConfig
 from .chaos import FaultPlan
 from .durable import DurableBlockStore
 from .executors import ExecutorPool
@@ -104,6 +105,19 @@ class SparkleContext:
         out-of-band buffers).  Results are bit-identical across
         backends; ``"threads"`` remains the reference data plane for
         the chaos / durability / memory determinism contracts.
+    heartbeat_interval:
+        Process-backend supervision (DESIGN.md §13): seconds between
+        expected worker heartbeats; a worker silent for twice this is
+        SIGKILLed by the driver watchdog.  ``0`` disables heartbeats and
+        the watchdog.  Ignored by the thread backend (no process
+        boundary to supervise).
+    task_deadline:
+        Optional per-offloaded-kernel-call wall-clock ceiling (seconds);
+        overruns cancel or kill and retry under the scheduler's backoff.
+    max_task_failures:
+        Worker deaths one kernel call may cause before it is
+        quarantined as poison
+        (:class:`~repro.sparkle.errors.PoisonTaskError`).
     """
 
     def __init__(
@@ -126,6 +140,9 @@ class SparkleContext:
         memory_budget_bytes: int | None = None,
         spill_dir: str | None = None,
         backend: str = "threads",
+        heartbeat_interval: float = 0.25,
+        task_deadline: float | None = None,
+        max_task_failures: int = 3,
     ) -> None:
         self.num_executors = num_executors
         self.cores_per_executor = cores_per_executor
@@ -145,14 +162,23 @@ class SparkleContext:
         self.metrics.backend = backend
         self.failure_injector = failure_injector
         self.fault_plan = fault_plan
+        self.supervision = SupervisionConfig(
+            heartbeat_interval=heartbeat_interval or 0.0,
+            task_deadline=task_deadline,
+            max_task_failures=max_task_failures,
+        )
         self._executors = ExecutorPool(
             num_executors,
             cores_per_executor,
             metrics=self.metrics,
             backend=backend,
+            supervision=self.supervision,
+            fault_plan=fault_plan,
         )
         #: shared-memory arena of the process backend (None for threads)
         self.arena = getattr(self._executors.backend, "arena", None)
+        #: worker supervisor of the process backend (None for threads)
+        self.supervisor = getattr(self._executors.backend, "supervisor", None)
         self.memory_manager: MemoryManager | None = None
         self.spill_store: DurableBlockStore | None = None
         self._spill_tmpdir: str | None = None

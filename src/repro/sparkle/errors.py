@@ -1,4 +1,14 @@
-"""Engine error types."""
+"""Engine error types.
+
+Every typed error here must survive a pickle round-trip with its payload
+intact: the process backend raises them inside worker processes, and
+``concurrent.futures`` ships worker exceptions back to the driver by
+pickling them.  ``BaseException.__reduce__`` only replays ``self.args``,
+which silently breaks any exception whose ``__init__`` takes more (or
+keyword-only) parameters — so each multi-argument error defines an
+explicit ``__reduce__`` that reconstructs from its full constructor
+signature.
+"""
 
 from __future__ import annotations
 
@@ -16,6 +26,9 @@ __all__ = [
     "ResumeMismatchError",
     "JobAborted",
     "LastExecutorProtectedWarning",
+    "WorkerCrashed",
+    "TaskDeadlineExceeded",
+    "PoisonTaskError",
 ]
 
 
@@ -30,6 +43,9 @@ class TaskError(SparkleError):
         super().__init__(message)
         self.stage_id = stage_id
         self.partition = partition
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.stage_id, self.partition))
 
 
 class TaskKilled(SparkleError):
@@ -52,6 +68,9 @@ class ExecutorLost(SparkleError):
     def __init__(self, message: str, executor: int) -> None:
         super().__init__(message)
         self.executor = executor
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.executor))
 
 
 class TransientIOError(SparkleError):
@@ -76,6 +95,9 @@ class ShuffleFetchFailed(SparkleError):
         )
         self.shuffle_id = shuffle_id
         self.missing = tuple(missing)
+
+    def __reduce__(self):
+        return (type(self), (self.shuffle_id, self.missing))
 
 
 class StorageCapacityError(SparkleError):
@@ -103,6 +125,9 @@ class BlockNotFoundError(SparkleError, KeyError):
     def __str__(self) -> str:  # KeyError would repr() the message
         return self.args[0] if self.args else ""
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.key))
+
 
 class CorruptBlockError(SparkleError):
     """A durable block failed its checksum (torn write, bitrot, tamper).
@@ -116,6 +141,9 @@ class CorruptBlockError(SparkleError):
     def __init__(self, message: str, key=None) -> None:
         super().__init__(message)
         self.key = key
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.key))
 
 
 class JournalError(SparkleError):
@@ -131,6 +159,78 @@ class ResumeMismatchError(JournalError):
 
 class JobAborted(SparkleError):
     """A job failed after exhausting task retries."""
+
+
+class WorkerCrashed(SparkleError):
+    """A worker process died mid-kernel (SIGKILL, OOM kill, hard crash).
+
+    Raised by the supervised process backend after it has already
+    respawned the pool and reclaimed the dead worker's orphaned scratch
+    segments.  Retryable: the scheduler re-runs the task attempt through
+    the normal backoff machinery, and the retry lands on a fresh worker.
+    """
+
+    def __init__(self, message: str, pid: int | None = None, reason: str = "crash") -> None:
+        super().__init__(message)
+        self.pid = pid
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.pid, self.reason))
+
+
+class TaskDeadlineExceeded(SparkleError):
+    """A supervised task ran past its ``task_deadline``.
+
+    If the task had not started yet it is cancelled in place; if it was
+    already running, the supervisor SIGKILLs the worker executing it (a
+    hung worker cannot be asked nicely) and the pool respawns.  Either
+    way the attempt is retryable and counts toward the task's poison
+    budget (``max_task_failures``).
+    """
+
+    def __init__(
+        self, message: str, deadline: float | None = None, elapsed: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.deadline, self.elapsed))
+
+
+class PoisonTaskError(SparkleError):
+    """One task killed a fresh worker ``max_task_failures`` times.
+
+    The task is quarantined — the supervisor refuses to offload it again
+    — and the error carries enough to identify *what* is poisonous: the
+    kernel id, the update case, and the tile coordinate (global offsets
+    of the tile being updated).  Not retryable through the scheduler;
+    under ``--degrade-on-crash`` the GEP solver instead recomputes the
+    tile on the deterministic thread path and degrades the whole solve
+    to the thread backend at the next outer-iteration boundary.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        coordinate: tuple[int, int, int] | None = None,
+        case: str | None = None,
+        kernel_id: str | None = None,
+        failures: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.coordinate = tuple(coordinate) if coordinate is not None else None
+        self.case = case
+        self.kernel_id = kernel_id
+        self.failures = failures
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.coordinate, self.case, self.kernel_id, self.failures),
+        )
 
 
 class LastExecutorProtectedWarning(RuntimeWarning):

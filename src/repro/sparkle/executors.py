@@ -41,6 +41,8 @@ class ExecutorPool:
         *,
         metrics=None,
         backend: str | ExecutionBackend = "threads",
+        supervision=None,
+        fault_plan=None,
     ) -> None:
         if num_executors < 1 or cores_per_executor < 1:
             raise ValueError("executors and cores must be >= 1")
@@ -56,6 +58,8 @@ class ExecutorPool:
                 total_slots=self.total_slots,
                 num_workers=num_executors,
                 metrics=metrics,
+                supervision=supervision,
+                fault_plan=fault_plan,
             )
         self._lock = threading.Lock()
         self._blacklisted: set[int] = set()

@@ -252,7 +252,13 @@ class MemoryManager:
                     start = time.perf_counter()
                     if self._metrics is not None:
                         self._metrics.admission_waits += 1
-                self._cond.wait(timeout=0.05)
+                # Event-driven, not a poll: every release()/
+                # finish_task()/squeeze() notifies this condition, so a
+                # waiter wakes as soon as capacity can have changed.
+                # The long timeout is purely a safety net against a
+                # lost-wakeup bug, not a spin interval (asserted by the
+                # no-spin regression test).
+                self._cond.wait(timeout=5.0)
             if waited and self._metrics is not None:
                 self._metrics.admission_wait_seconds += (
                     time.perf_counter() - start

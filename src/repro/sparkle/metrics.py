@@ -182,6 +182,21 @@ class EngineMetrics:
     serialized_shuffle_writes: int = 0
     #: logical-minus-physical staged bytes saved by buffer identity dedup
     shuffle_bytes_deduplicated: int = 0
+    # ---- supervision counters (worker liveness / crash protocol) -------
+    #: workers whose heartbeat went silent past the watchdog threshold
+    heartbeats_missed: int = 0
+    #: worker processes started by pool respawns (crash recovery)
+    workers_respawned: int = 0
+    #: worker-process deaths observed mid-kernel (BrokenProcessPool)
+    worker_crashes: int = 0
+    #: supervised kernel calls that ran past their task deadline
+    deadlines_exceeded: int = 0
+    #: tasks quarantined after killing ``max_task_failures`` fresh workers
+    poison_tasks: int = 0
+    #: orphaned scratch segments reclaimed after a worker death
+    orphan_segments_reclaimed: int = 0
+    #: processes→threads backend degradations taken under --degrade-on-crash
+    backend_degradations: int = 0
 
     def new_job(self, action: str) -> JobTrace:
         trace = JobTrace(job_id=len(self.jobs), action=action)
@@ -263,6 +278,18 @@ class EngineMetrics:
             "shuffle_bytes_deduplicated": self.shuffle_bytes_deduplicated,
         }
 
+    def supervision_summary(self) -> dict[str, Any]:
+        """Worker-liveness / crash-protocol accounting for one run."""
+        return {
+            "heartbeats_missed": self.heartbeats_missed,
+            "workers_respawned": self.workers_respawned,
+            "worker_crashes": self.worker_crashes,
+            "deadlines_exceeded": self.deadlines_exceeded,
+            "poison_tasks": self.poison_tasks,
+            "orphan_segments_reclaimed": self.orphan_segments_reclaimed,
+            "backend_degradations": self.backend_degradations,
+        }
+
     def durability_summary(self) -> dict[str, Any]:
         """Journal/checkpoint-store accounting for one run."""
         return {
@@ -292,4 +319,5 @@ class EngineMetrics:
         out.update(self.durability_summary())
         out.update(self.memory_summary())
         out.update(self.data_plane_summary())
+        out.update(self.supervision_summary())
         return out

@@ -41,10 +41,13 @@ from .errors import (
     BlockNotFoundError,
     ExecutorLost,
     JobAborted,
+    PoisonTaskError,
     ShuffleFetchFailed,
+    TaskDeadlineExceeded,
     TaskError,
     TaskKilled,
     TransientIOError,
+    WorkerCrashed,
 )
 from .metrics import StageRecord, TaskRecord
 from .rdd import NarrowDependency, RDD, ShuffleDependency
@@ -54,7 +57,18 @@ __all__ = ["DAGScheduler", "TaskContext", "Stage"]
 #: Failures the retry loop recovers from (vs user errors → TaskError).
 #: BlockNotFoundError is typed precisely so it lands here: a missing
 #: storage block is a recomputation trigger, not a programmer error.
-RETRYABLE = (TaskKilled, ExecutorLost, TransientIOError, BlockNotFoundError)
+#: WorkerCrashed/TaskDeadlineExceeded arrive from the supervised process
+#: backend *after* it already respawned the pool — the retry runs on
+#: fresh workers.  PoisonTaskError is deliberately absent: a quarantined
+#: task would kill every worker it is retried on.
+RETRYABLE = (
+    TaskKilled,
+    ExecutorLost,
+    TransientIOError,
+    BlockNotFoundError,
+    WorkerCrashed,
+    TaskDeadlineExceeded,
+)
 
 
 class TaskContext:
@@ -385,6 +399,11 @@ class DAGScheduler:
                 )
                 self._count_executor_fault(faulty)
                 continue
+            except PoisonTaskError:
+                # Quarantined by the supervision layer: retrying would
+                # only kill more workers.  Propagate typed so the GEP
+                # solver's --degrade-on-crash fallback can catch it.
+                raise
             except Exception as exc:
                 raise TaskError(
                     f"task failed in stage {stage.id}, partition {partition}: {exc}",

@@ -67,6 +67,7 @@ __all__ = [
     "release_nested",
     "CowTile",
     "shm_supported",
+    "purge_segments",
 ]
 
 PICKLE_PROTOCOL = 5
@@ -75,6 +76,33 @@ PICKLE_PROTOCOL = 5
 def shm_supported() -> bool:
     """Whether POSIX shared memory is available on this platform."""
     return _shared_memory is not None
+
+
+def purge_segments(prefix: str) -> int:
+    """Unlink every ``/dev/shm`` entry under an arena prefix; last resort.
+
+    The crash janitor: when the driver dies without running ``cleanup()``
+    (SIGKILL, power loss) nobody holds the ``SharedMemory`` handles any
+    more, so orphaned workers sweep the raw names straight off the
+    filesystem before exiting.  Harmless when the tree is already clean;
+    returns the number of entries removed.  Only meaningful on platforms
+    that expose POSIX shm as files (Linux ``/dev/shm``).
+    """
+    if not prefix:
+        raise ValueError("refusing to purge an empty shm prefix")
+    root = "/dev/shm"
+    removed = 0
+    if not os.path.isdir(root):  # pragma: no cover - platform gate
+        return 0
+    for entry in os.listdir(root):
+        if not entry.startswith(prefix):
+            continue
+        try:
+            os.unlink(os.path.join(root, entry))
+            removed += 1
+        except OSError:  # pragma: no cover - raced with another reaper
+            pass
+    return removed
 
 
 # ----------------------------------------------------------------------

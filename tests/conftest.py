@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
@@ -11,6 +13,63 @@ from repro.core.gep import (
     TransitiveClosureGep,
 )
 from repro.workloads import random_digraph_weights, weights_to_boolean
+
+try:  # pragma: no cover - environment probe
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+#: Per-test wall-clock ceiling (seconds) enforced by the SIGALRM
+#: fallback below when the real ``pytest-timeout`` plugin is absent.
+#: Generous on purpose: it exists to turn a hung test (e.g. a worker
+#: supervision bug leaving a SIGSTOPped process blocking a future) into
+#: a loud failure instead of a wedged CI job, not to police slowness.
+FALLBACK_TEST_TIMEOUT = 300.0
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    def pytest_configure(config):
+        # Accept @pytest.mark.timeout(...) so tests can declare tighter
+        # ceilings portably whether or not the plugin is installed.
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test wall-clock ceiling (fallback "
+            "implementation; SIGALRM-based, main-thread only)",
+        )
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        seconds = FALLBACK_TEST_TIMEOUT
+        if marker is not None and marker.args:
+            seconds = float(marker.args[0])
+
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {seconds:g}s wall-clock ceiling "
+                "(SIGALRM fallback for the missing pytest-timeout plugin)"
+            )
+
+        if seconds > 0:
+            previous = signal.signal(signal.SIGALRM, _expired)
+            signal.setitimer(signal.ITIMER_REAL, seconds)
+            try:
+                yield
+            finally:
+                signal.setitimer(signal.ITIMER_REAL, 0)
+                signal.signal(signal.SIGALRM, previous)
+        else:
+            yield
+
+elif not _HAVE_PYTEST_TIMEOUT:  # pragma: no cover - non-POSIX fallback
+
+    def pytest_configure(config):
+        config.addinivalue_line(
+            "markers", "timeout(seconds): per-test wall-clock ceiling"
+        )
 
 
 @pytest.fixture
