@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test tier1 robustness supervision perf smoke bench
+.PHONY: test tier1 robustness supervision batching perf smoke bench bench-gate
 
 # full suite
 test:
@@ -20,13 +20,24 @@ robustness:
 supervision:
 	$(PYTEST) -q -m supervision
 
+# batched dispatch plane: differential dispatch-mode property, tile
+# affinity, gang stages
+batching:
+	$(PYTEST) -q -m batching
+
 # performance-claim gates (multicore wall-clock assertions; they
 # self-skip on hosts with < 4 cores, so this is always safe to run)
 perf:
 	$(PYTEST) -q -m perf
 
 # robustness gate: tier-1, then chaos/durability/memory, then perf gates
-smoke: tier1 robustness perf
+smoke: tier1 robustness batching perf
+
+# tier-2 dispatch bench gate: fail unless batched dispatch cuts IPC
+# round-trips >= 10x without a wall-clock regression (the wall claim
+# self-skips on single-core hosts)
+bench-gate:
+	$(PYTEST) -q -m perf tests/test_bench_gate.py
 
 # A/B the thread and process data planes on the pinned FW-APSP workload
 # and write BENCH_engine.json (wall-clock, shuffle bytes, zero-copy

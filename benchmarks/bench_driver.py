@@ -32,7 +32,6 @@ import numpy as np
 from repro.core.dpspark import GepSparkSolver, make_kernel
 from repro.core.gep import FloydWarshallGep
 from repro.sparkle import SparkleContext
-from repro.sparkle.backend import BACKENDS
 from repro.workloads import random_digraph_weights
 
 DEFAULT_N = 1024
@@ -46,12 +45,19 @@ def run_once(
     r: int,
     strategy: str,
     heartbeat_interval: float | None = None,
+    dispatch: str = "tile",
+    gang_stages: bool = False,
 ):
     ctx_kw = {}
     if heartbeat_interval is not None:
         ctx_kw["heartbeat_interval"] = heartbeat_interval
     with SparkleContext(
-        num_executors=4, cores_per_executor=2, backend=backend, **ctx_kw
+        num_executors=4,
+        cores_per_executor=2,
+        backend=backend,
+        dispatch=dispatch,
+        gang_stages=gang_stages,
+        **ctx_kw,
     ) as sc:
         spec = FloydWarshallGep()
         solver = GepSparkSolver(
@@ -67,10 +73,19 @@ def run_once(
         m = report.engine_metrics
         return out, {
             "backend": backend,
+            "dispatch": dispatch,
+            "gang_stages": gang_stages,
             "wall_seconds": round(wall, 4),
             "jobs": len(m.jobs),
             "stages": m.total_stages,
             "tasks": m.total_tasks,
+            "tasks_per_solve": m.total_tasks,
+            "dispatch_round_trips": m.dispatch_round_trips,
+            "batch_dispatches": m.batch_dispatches,
+            "batched_kernel_calls": m.batched_kernel_calls,
+            "affinity_hit_rate": m.dispatch_summary()["affinity_hit_rate"],
+            "gang_dispatches": m.gang_dispatches,
+            "gang_retries": m.gang_retries,
             "shuffle_total_bytes_written": sc._shuffle_manager.total_bytes_written,
             "shuffle_bytes_deduplicated": m.shuffle_bytes_deduplicated,
             "serialized_shuffle_writes": m.serialized_shuffle_writes,
@@ -108,18 +123,28 @@ def main(argv=None) -> int:
     print(f"bench: FW-APSP n={n} grid={args.grid}x{args.grid} (r={r}) "
           f"strategy={args.strategy} seed={args.seed}")
     table = random_digraph_weights(n, 0.3, seed=args.seed)
+    # The dispatch plane A/B: per-tile IPC (the historical loss to
+    # threads), batched per-worker round-trips, and barrier gangs.
+    configs = [
+        ("threads", {}),
+        ("processes", {}),
+        ("processes-batch", {"dispatch": "batch"}),
+        ("processes-gang", {"dispatch": "batch", "gang_stages": True}),
+    ]
     runs = {}
     baseline = None
-    for backend in BACKENDS:
-        out, rec = run_once(backend, table.copy(), r, args.strategy)
+    for label, kw in configs:
+        backend = "threads" if label == "threads" else "processes"
+        out, rec = run_once(backend, table.copy(), r, args.strategy, **kw)
         if baseline is None:
             baseline = out
         elif not np.array_equal(baseline, out):
-            raise SystemExit("backend outputs diverge — refusing to report")
-        runs[backend] = rec
-        print(f"  {backend:9s} wall={rec['wall_seconds']:8.3f}s "
+            raise SystemExit(f"{label} output diverges — refusing to report")
+        runs[label] = rec
+        print(f"  {label:15s} wall={rec['wall_seconds']:8.3f}s "
               f"shuffle={rec['shuffle_total_bytes_written']:>12,d}B "
               f"offloads={rec['kernel_offloads']} "
+              f"round_trips={rec['dispatch_round_trips']} "
               f"copies_eliminated={rec['copies_eliminated']}")
 
     # Supervision overhead: the same process-backend workload with the
@@ -136,6 +161,7 @@ def main(argv=None) -> int:
 
     cpus = os.cpu_count() or 1
     t, p = runs["threads"], runs["processes"]
+    b = runs["processes-batch"]
     report = {
         "workload": {
             "spec": "fw-apsp",
@@ -158,6 +184,16 @@ def main(argv=None) -> int:
             ),
             "shuffle_bytes_saved": t["shuffle_total_bytes_written"]
             - p["shuffle_total_bytes_written"],
+            # the batching headline: driver<->worker IPC round-trips,
+            # per-tile vs fused per-worker batches (host-independent)
+            "round_trip_reduction": round(
+                p["dispatch_round_trips"] / b["dispatch_round_trips"], 2
+            )
+            if b["dispatch_round_trips"]
+            else None,
+            "batch_speedup_vs_per_tile": round(
+                p["wall_seconds"] / b["wall_seconds"], 4
+            ),
             # parallel-kernel wall-clock wins need real cores; recorded
             # honestly instead of asserted on undersized hosts
             "speedup_claim_applicable": cpus >= 4,

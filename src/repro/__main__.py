@@ -114,6 +114,19 @@ def _cmd_solve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.dispatch == "batch" and args.backend != "processes":
+        print(
+            "--dispatch batch requires --backend processes (the threads "
+            "backend runs kernels in-process; there is nothing to batch)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.gang_stages and args.dispatch != "batch":
+        print("--gang-stages requires --dispatch batch", file=sys.stderr)
+        return 2
+    if args.affinity == "off" and args.backend != "processes":
+        print("--affinity off requires --backend processes", file=sys.stderr)
+        return 2
 
     table = _load_or_generate(args)
     kw = dict(
@@ -140,6 +153,9 @@ def _cmd_solve(args) -> int:
             memory_budget_bytes=args.memory_budget,
             spill_dir=args.spill_dir or None,
             backend=args.backend,
+            dispatch=args.dispatch,
+            gang_stages=args.gang_stages,
+            affinity=args.affinity != "off",
             **ctx_supervision_kw,
         )
         if args.engine == "spark"
@@ -197,6 +213,7 @@ def _cmd_solve(args) -> int:
                 print("recovery:", report.engine_metrics.recovery_summary())
             if args.backend == "processes":
                 print("data plane:", report.engine_metrics.data_plane_summary())
+                print("dispatch:", report.engine_metrics.dispatch_summary())
                 print(
                     "supervision:",
                     report.engine_metrics.supervision_summary(),
@@ -455,6 +472,23 @@ def main(argv: list[str] | None = None) -> int:
              "deterministic in-process pool) or processes (one worker "
              "process per executor; kernel tile updates run on multiple "
              "cores via shared-memory transport — bit-identical results)")
+    solve.add_argument(
+        "--dispatch", choices=("tile", "batch"), default="tile",
+        help="process-backend kernel dispatch: tile (default; one IPC "
+             "round-trip per tile update) or batch (fuse a stage's tile "
+             "updates into one round-trip per worker; bit-identical "
+             "results); requires --backend processes")
+    solve.add_argument(
+        "--gang-stages", action="store_true",
+        help="dispatch each batched kernel wave as a barrier gang spread "
+             "across the whole worker pool, with all-or-nothing retry on "
+             "member failure (JAMPI-style gang scheduling); requires "
+             "--dispatch batch")
+    solve.add_argument(
+        "--affinity", choices=("on", "off"), default="on",
+        help="tile-affinity scheduling for the process backend: keep "
+             "routing each tile to the worker whose shared-memory slab "
+             "already holds it (default on)")
     solve.add_argument(
         "--checkpoint-dir", metavar="DIR", default=None,
         help="durable checkpoint/journal directory for the spark engine: "

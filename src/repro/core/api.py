@@ -52,6 +52,9 @@ def run_gep(
     task_deadline: float | None = None,
     max_task_failures: int | None = None,
     degrade_on_crash: bool = False,
+    dispatch: str = "tile",
+    gang_stages: bool = False,
+    affinity: bool = True,
 ) -> tuple[np.ndarray, SolveReport | None]:
     """Run one GEP computation; returns ``(result, report_or_None)``.
 
@@ -74,6 +77,14 @@ def run_gep(
     pre-configured ``sc`` otherwise), and ``degrade_on_crash`` arms the
     solver's processes→threads fallback once a kernel call is
     quarantined as poison.
+
+    ``dispatch``/``gang_stages``/``affinity`` tune the process
+    backend's kernel-offload plane of an owned spark context:
+    ``dispatch="batch"`` fuses a stage's tile updates into one
+    round-trip per worker, ``gang_stages=True`` spreads each batch
+    across the whole worker pool as a barrier gang with all-or-nothing
+    retry, and ``affinity=False`` disables tile-affinity routing.
+    Pass a pre-configured ``sc`` otherwise.
     """
     table = np.asarray(table)
     if engine != "spark" and (checkpoint_dir is not None or resume):
@@ -114,6 +125,21 @@ def run_gep(
         )
     if degrade_on_crash and engine != "spark":
         raise ValueError("degrade_on_crash requires engine='spark'")
+    dispatch_kw = {
+        "dispatch": dispatch != "tile",
+        "gang_stages": gang_stages,
+        "affinity": not affinity,
+    }
+    dispatch_set = {k for k, v in dispatch_kw.items() if v}
+    if dispatch_set and engine != "spark":
+        names = "/".join(sorted(dispatch_set))
+        verb = "requires" if len(dispatch_set) == 1 else "require"
+        raise ValueError(f"{names} {verb} engine='spark'")
+    if dispatch_set and sc is not None:
+        raise ValueError(
+            "dispatch options apply to an owned context; construct the "
+            "SparkleContext with dispatch/gang_stages/affinity instead"
+        )
     if engine == "reference":
         return gep_reference_vectorized(spec, table), None
 
@@ -148,6 +174,9 @@ def run_gep(
                 memory_budget_bytes=memory_budget_bytes,
                 spill_dir=spill_dir,
                 backend=backend,
+                dispatch=dispatch,
+                gang_stages=gang_stages,
+                affinity=affinity,
                 **ctx_kw,
             )
         elif checkpoint_dir is not None:
@@ -213,6 +242,9 @@ class GepRunOptions(dict):
             "task_deadline",
             "max_task_failures",
             "degrade_on_crash",
+            "dispatch",
+            "gang_stages",
+            "affinity",
         }
     )
 

@@ -312,6 +312,10 @@ class GepSparkSolver:
         if table.ndim != 2 or table.shape[0] != table.shape[1]:
             raise ValueError("GEP requires a square table")
         start = time.perf_counter()
+        # Tile placements are scoped to one solve: a context reused for
+        # several solves must not route this grid by a previous grid's
+        # homes (no cross-solve affinity leaks).
+        self.sc._executors.backend.reset_affinity()
         n = table.shape[0]
         bounds = grid_bounds(n, self.r)
         nt = len(bounds) - 1
@@ -631,6 +635,11 @@ class GepSparkSolver:
                     if stats is not None and self.stats is not None:
                         self.stats.merge(stats)
                     return out
+        return self._thread_updated_tile(case, tile, u, v, w, gi0, gj0, gk0, n)
+
+    def _thread_updated_tile(self, case, tile, u, v, w, gi0, gj0, gk0, n):
+        """The deterministic thread path: private copy, aliases resolved
+        against it, kernel run in place (never mutates ``tile``)."""
         if isinstance(tile, CowTile):
             x = tile.writable(self.sc.metrics)
         else:
@@ -640,6 +649,82 @@ class GepSparkSolver:
         w2 = x if w is ALIAS_X else w
         self.kernel.run(case, x, u2, v2, w2, gi0, gj0, gk0, n, stats=self.stats)
         return x
+
+    def _batch_enabled(self) -> bool:
+        """Whether tile updates should fuse into batched offloads."""
+        backend = self.sc._executors.backend
+        return (
+            getattr(backend, "dispatch", "tile") == "batch"
+            and backend.supports_kernel_offload
+            and not self._offload_disabled
+            and self._offload_blob() is not None
+        )
+
+    def _run_tile_batch(self, calls: list) -> list:
+        """Update a partition's worth of tiles; returns arrays in order.
+
+        ``calls`` entries are ``(case, tile, u, v, w, gi0, gj0, gk0,
+        n)`` exactly as :meth:`_updated_tile` takes them.  Under
+        ``dispatch="batch"`` the whole list goes through the backend's
+        fused path (one IPC round-trip per worker); otherwise each call
+        dispatches on its own.  Both produce bit-identical arrays, so
+        dispatch mode can never change results — only round-trip counts.
+        """
+        if calls and self._batch_enabled():
+            return self._updated_tiles_batch(calls)
+        return [self._updated_tile(*c) for c in calls]
+
+    def _updated_tiles_batch(self, calls: list) -> list:
+        """Batched offload with per-call poison handling.
+
+        A :class:`PoisonTaskError` names the exact quarantined call
+        (the batch error-attribution contract); under
+        ``degrade_on_crash`` that one call is recomputed on the thread
+        path and the remainder re-batched, mirroring the per-tile
+        degradation semantics call for call.
+        """
+        backend = self.sc._executors.backend
+        blob = self._offload_blob()
+        results: list = [None] * len(calls)
+        pending = list(range(len(calls)))
+        while pending:
+            bcalls = []
+            for idx in pending:
+                case, tile, u, v, w, gi0, gj0, gk0, n = calls[idx]
+                arr = tile.array if isinstance(tile, CowTile) else tile
+                bcalls.append((case, arr, u, v, w, gi0, gj0, gk0, n))
+            try:
+                outs = backend.run_kernel_batch(
+                    blob, bcalls, want_stats=self.stats is not None
+                )
+            except PoisonTaskError as exc:
+                if not self.degrade_on_crash:
+                    raise
+                poisoned = [
+                    idx
+                    for idx in pending
+                    if calls[idx][0] == exc.case
+                    and (calls[idx][5], calls[idx][6], calls[idx][7])
+                    == exc.coordinate
+                ]
+                if not poisoned:
+                    # Attribution did not match any pending call (should
+                    # not happen): fall back to per-call dispatch, which
+                    # handles its own poison, rather than loop forever.
+                    for idx in pending:
+                        results[idx] = self._updated_tile(*calls[idx])
+                    break
+                for idx in poisoned:
+                    results[idx] = self._thread_updated_tile(*calls[idx])
+                    pending.remove(idx)
+                continue
+            for pos, idx in enumerate(pending):
+                out, stats = outs[pos]
+                if stats is not None and self.stats is not None:
+                    self.stats.merge(stats)
+                results[idx] = out
+            break
+        return results
 
     # ------------------------------------------------------------------
     # In-Memory strategy (Listing 1)
@@ -685,20 +770,36 @@ class GepSparkSolver:
             untouched = dp.filter(lambda kv: kv[0] != (k, k))
             return self.sc.union([untouched, a_updated]).partitionBy(partitioner=part)
 
-        # ---- stage 2: kernels B and C, coupled with pivot copies
-        def bc_rec(kv):
-            key, roles = kv
-            i, j = key
-            if i == k:  # B: pivot row; V aliases X
-                pivot = roles["uw"]
-                x = runner("B", roles["x"], pivot, ALIAS_X, pivot, gk0, bounds[j], gk0, n)
-                out = [(key, ("x", x))]
-                out.extend(((ii, j), ("v", x)) for ii in cs)
-            else:  # C: pivot column; U aliases X
-                pivot = roles["vw"]
-                x = runner("C", roles["x"], ALIAS_X, pivot, pivot, bounds[i], gk0, gk0, n)
-                out = [(key, ("x", x))]
-                out.extend(((i, jj), ("u", x)) for jj in bs)
+        # ---- stage 2: kernels B and C, coupled with pivot copies.
+        # One map_partitions over the coupled records: the partition's B
+        # and C updates fuse into a single kernel batch (one offload
+        # round-trip per worker under --dispatch batch), then fan out
+        # the same consumer copies flatMap(bc_rec) emitted per record.
+        batch = self._run_tile_batch
+
+        def bc_part(it, _split):
+            items = list(it)
+            calls = []
+            for key, roles in items:
+                i, j = key
+                if i == k:  # B: pivot row; V aliases X
+                    pivot = roles["uw"]
+                    calls.append(
+                        ("B", roles["x"], pivot, ALIAS_X, pivot, gk0, bounds[j], gk0, n)
+                    )
+                else:  # C: pivot column; U aliases X
+                    pivot = roles["vw"]
+                    calls.append(
+                        ("C", roles["x"], ALIAS_X, pivot, pivot, bounds[i], gk0, gk0, n)
+                    )
+            out = []
+            for (key, _roles), x in zip(items, batch(calls)):
+                i, j = key
+                out.append((key, ("x", x)))
+                if i == k:
+                    out.extend(((ii, j), ("v", x)) for ii in cs)
+                else:
+                    out.extend(((i, jj), ("u", x)) for jj in bs)
             return out
 
         bc_keys = b_keys | c_keys
@@ -712,7 +813,7 @@ class GepSparkSolver:
             bc_in.combineByKey(
                 _role_create, _role_merge_value, _role_merge_combiners, part
             )
-            .flatMap(bc_rec)
+            .map_partitions(bc_part)
             .partitionBy(partitioner=part)
             .cache()
         )
@@ -720,15 +821,20 @@ class GepSparkSolver:
             lambda rv: rv[1]
         )
 
-        # ---- stage 3: kernels D, coupled with U/V/W copies
-        def d_rec(kv):
-            key, roles = kv
-            i, j = key
-            x = runner(
-                "D", roles["x"], roles["u"], roles["v"], roles.get("w"),
-                bounds[i], bounds[j], gk0, n,
-            )
-            return (key, x)
+        # ---- stage 3: kernels D, coupled with U/V/W copies — the
+        # dominant wave, fused per partition exactly like stage 2.
+        def d_part(it, _split):
+            items = list(it)
+            calls = [
+                (
+                    "D", roles["x"], roles["u"], roles["v"], roles.get("w"),
+                    bounds[key[0]], bounds[key[1]], gk0, n,
+                )
+                for key, roles in items
+            ]
+            return [
+                (key, x) for (key, _roles), x in zip(items, batch(calls))
+            ]
 
         d_sources = [
             dp.filter(lambda kv: kv[0] in d_keys).mapValues(lambda t: ("x", t)),
@@ -739,7 +845,7 @@ class GepSparkSolver:
         d_in = self.sc.union(d_sources)
         d_updated = d_in.combineByKey(
             _role_create, _role_merge_value, _role_merge_combiners, part
-        ).map(d_rec)
+        ).map_partitions(d_part)
 
         touched = {(k, k)} | bc_keys | d_keys
         untouched = dp.filter(lambda kv: kv[0] not in touched)
@@ -772,35 +878,50 @@ class GepSparkSolver:
             untouched = dp.filter(lambda kv: kv[0] != (k, k))
             return self.sc.union([untouched, a_block]).partitionBy(partitioner=part)
 
-        # ---- stage 2: kernels B and C, reading the pivot from storage
-        def bc_rec(kv):
-            key, tile = kv
-            i, j = key
-            pivot = storage.get(("pivot", k))
-            if i == k:
-                x = runner("B", tile, pivot, ALIAS_X, pivot, gk0, bounds[j], gk0, n)
-            else:
-                x = runner("C", tile, ALIAS_X, pivot, pivot, bounds[i], gk0, gk0, n)
-            return (key, x)
+        # ---- stage 2: kernels B and C, reading the pivot from storage;
+        # the partition's updates fuse into one kernel batch (the
+        # storage get per record is kept so staging accounting and
+        # transient-fault decisions match per-record dispatch exactly).
+        batch = self._run_tile_batch
+
+        def bc_part(it, _split):
+            items = list(it)
+            calls = []
+            for key, tile in items:
+                i, j = key
+                pivot = storage.get(("pivot", k))
+                if i == k:
+                    calls.append(
+                        ("B", tile, pivot, ALIAS_X, pivot, gk0, bounds[j], gk0, n)
+                    )
+                else:
+                    calls.append(
+                        ("C", tile, ALIAS_X, pivot, pivot, bounds[i], gk0, gk0, n)
+                    )
+            return [(key, x) for (key, _t), x in zip(items, batch(calls))]
 
         bc_keys = b_keys | c_keys
-        bc_blocks = dp.filter(lambda kv: kv[0] in bc_keys).map(bc_rec).cache()
+        bc_blocks = (
+            dp.filter(lambda kv: kv[0] in bc_keys).map_partitions(bc_part).cache()
+        )
         for key, arr in bc_blocks.collect():
             storage.put(("bc", k, key), arr)
 
         # ---- stage 3: kernels D, reading operands from storage (lazy)
         needs_w = spec.needs_w
 
-        def d_rec(kv):
-            key, tile = kv
-            i, j = key
-            u = storage.get(("bc", k, (i, k)))
-            v = storage.get(("bc", k, (k, j)))
-            w = storage.get(("pivot", k)) if needs_w else None
-            x = runner("D", tile, u, v, w, bounds[i], bounds[j], gk0, n)
-            return (key, x)
+        def d_part(it, _split):
+            items = list(it)
+            calls = []
+            for key, tile in items:
+                i, j = key
+                u = storage.get(("bc", k, (i, k)))
+                v = storage.get(("bc", k, (k, j)))
+                w = storage.get(("pivot", k)) if needs_w else None
+                calls.append(("D", tile, u, v, w, bounds[i], bounds[j], gk0, n))
+            return [(key, x) for (key, _t), x in zip(items, batch(calls))]
 
-        d_blocks = dp.filter(lambda kv: kv[0] in d_keys).map(d_rec)
+        d_blocks = dp.filter(lambda kv: kv[0] in d_keys).map_partitions(d_part)
 
         touched = {(k, k)} | bc_keys | d_keys
         untouched = dp.filter(lambda kv: kv[0] not in touched)
@@ -833,33 +954,47 @@ class GepSparkSolver:
             untouched = dp.filter(lambda kv: kv[0] != (k, k))
             return self.sc.union([untouched, a_block]).partitionBy(partitioner=part)
 
-        def bc_rec(kv):
-            key, tile = kv
-            i, j = key
-            pivot = pivot_bc.value
-            if i == k:
-                x = runner("B", tile, pivot, ALIAS_X, pivot, gk0, bounds[j], gk0, n)
-            else:
-                x = runner("C", tile, ALIAS_X, pivot, pivot, bounds[i], gk0, gk0, n)
-            return (key, x)
+        batch = self._run_tile_batch
+
+        def bc_part(it, _split):
+            items = list(it)
+            calls = []
+            for key, tile in items:
+                i, j = key
+                pivot = pivot_bc.value
+                if i == k:
+                    calls.append(
+                        ("B", tile, pivot, ALIAS_X, pivot, gk0, bounds[j], gk0, n)
+                    )
+                else:
+                    calls.append(
+                        ("C", tile, ALIAS_X, pivot, pivot, bounds[i], gk0, gk0, n)
+                    )
+            return [(key, x) for (key, _t), x in zip(items, batch(calls))]
 
         bc_keys = b_keys | c_keys
-        bc_blocks = dp.filter(lambda kv: kv[0] in bc_keys).map(bc_rec).cache()
+        bc_blocks = (
+            dp.filter(lambda kv: kv[0] in bc_keys).map_partitions(bc_part).cache()
+        )
         band_bc = self.sc.broadcast(dict(bc_blocks.collect()))
         needs_w = spec.needs_w
 
-        def d_rec(kv):
-            key, tile = kv
-            i, j = key
-            band = band_bc.value
-            x = runner(
-                "D", tile, band[(i, k)], band[(k, j)],
-                pivot_bc.value if needs_w else None,
-                bounds[i], bounds[j], gk0, n,
-            )
-            return (key, x)
+        def d_part(it, _split):
+            items = list(it)
+            calls = []
+            for key, tile in items:
+                i, j = key
+                band = band_bc.value
+                calls.append(
+                    (
+                        "D", tile, band[(i, k)], band[(k, j)],
+                        pivot_bc.value if needs_w else None,
+                        bounds[i], bounds[j], gk0, n,
+                    )
+                )
+            return [(key, x) for (key, _t), x in zip(items, batch(calls))]
 
-        d_blocks = dp.filter(lambda kv: kv[0] in d_keys).map(d_rec)
+        d_blocks = dp.filter(lambda kv: kv[0] in d_keys).map_partitions(d_part)
         touched = {(k, k)} | bc_keys | d_keys
         untouched = dp.filter(lambda kv: kv[0] not in touched)
         return self.sc.union(

@@ -61,6 +61,7 @@ buffers are deduplicated by identity
 produce bit-identical results.
 """
 
+from .affinity import AffinityRegistry
 from .backend import (
     ALIAS_X,
     BACKENDS,
@@ -115,6 +116,7 @@ from .supervisor import HeartbeatBoard, SupervisionConfig, WorkerSupervisor
 
 __all__ = [
     "SparkleContext",
+    "AffinityRegistry",
     "ALIAS_X",
     "BACKENDS",
     "ExecutionBackend",

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import itertools
 import os
 import pickle
 import signal
@@ -66,8 +67,10 @@ from typing import Any, Callable
 
 import numpy as np
 
+from .affinity import AffinityRegistry
+from .chaos import CURRENT_TASK
 from .errors import PoisonTaskError, TaskDeadlineExceeded, WorkerCrashed
-from .serialize import SegmentArena, ShmArray, shm_supported
+from .serialize import OperandPool, SegmentArena, ShmArray, shm_supported
 from .supervisor import SupervisionConfig, WorkerSupervisor, _attach_worker
 
 __all__ = [
@@ -95,6 +98,14 @@ class ExecutionBackend:
     #: whether :meth:`run_kernel` is available (drivers fall back to the
     #: copy-then-update-in-place thread path when it is not)
     supports_kernel_offload: bool = False
+    #: dispatch mode the drivers key their fusion decision on:
+    #: ``"tile"`` = one offload round-trip per tile update (historical),
+    #: ``"batch"`` = fused per-worker batches via :meth:`run_kernel_batch`
+    dispatch: str = "tile"
+    #: gang (barrier) stage mode — only meaningful with ``dispatch="batch"``
+    gang_stages: bool = False
+    #: tile → worker placement registry (process backend only)
+    affinity: Any = None
     #: supervision layer (process backend only; ``None`` means no real
     #: process boundary, so there is nothing to supervise)
     supervisor: Any = None
@@ -121,6 +132,23 @@ class ExecutionBackend:
     ):
         """Offloaded tile update; returns ``(fresh_updated_tile, stats)``."""
         raise NotImplementedError(f"{self.name} backend has no kernel offload")
+
+    def run_kernel_batch(
+        self, kernel_blob: bytes, calls: list, want_stats: bool = False
+    ) -> list:
+        """Fused offload of many tile updates (one round-trip per worker).
+
+        ``calls`` is a list of ``(case, x, u, v, w, gi0, gj0, gk0,
+        n_global)`` tuples; returns ``[(fresh_tile, stats), ...]`` in
+        call order.
+        """
+        raise NotImplementedError(f"{self.name} backend has no kernel offload")
+
+    def reset_affinity(self) -> None:
+        """Solve-boundary hook: forget tile placements; default no-op."""
+
+    def invalidate_affinity(self, executor: int) -> None:
+        """Executor blacklisted: spill its tile placements; default no-op."""
 
     def stage_complete(self) -> None:
         """End-of-stage hook (scratch sweeps); default no-op."""
@@ -238,8 +266,14 @@ def _worker_init(supervision_args=None) -> None:  # pragma: no cover - worker si
         _attach_worker(*supervision_args)
 
 
-def _resolve_operand(desc, x, attached, opened):
-    """Materialize one of u/v/w from its transport descriptor."""
+def _resolve_operand(desc, x, attached, opened, pool=None, attach=None):
+    """Materialize one of u/v/w from its transport descriptor.
+
+    ``pool`` is the batch's identity-deduped inline-operand list (the
+    ``"pool"`` kind only appears in batch envelopes); ``attach``, when
+    given, is a name → ``SharedMemory`` cache so a segment referenced by
+    several envelopes of one batch is attached once.
+    """
     if desc is None:
         return None
     kind = desc[0]
@@ -249,12 +283,17 @@ def _resolve_operand(desc, x, attached, opened):
         return attached[desc[1]]
     if kind == "inline":
         return desc[1]
+    if kind == "pool":
+        return pool[desc[1]]
     if kind == "shm":
         from multiprocessing import shared_memory
 
         _, name, offset, shape, dtype = desc
-        shm = shared_memory.SharedMemory(name=name)
-        opened.append(shm)
+        if attach is not None:
+            shm = attach(name)
+        else:
+            shm = shared_memory.SharedMemory(name=name)
+            opened.append(shm)
         arr = np.ndarray(
             shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
         )
@@ -343,8 +382,122 @@ def _kernel_task(
                 pass
 
 
+def _kernel_batch_task(
+    kernel_blob: bytes,
+    pool: list,
+    envs: list,
+    want_stats: bool,
+):  # pragma: no cover - exercised in worker processes
+    """Worker body for one fused batch: many tile updates, one round-trip.
+
+    ``pool`` is the batch's identity-deduped inline-operand list (the
+    pivot fan-out crosses the IPC boundary once per batch, not once per
+    tile); each envelope is ``(token, inject, case, xdesc, udesc, vdesc,
+    wdesc, gi0, gj0, gk0, n_global)``.  Segments named by several
+    envelopes are attached once through a batch-local cache and closed
+    at the end.
+
+    Error attribution: the worker publishes each envelope's ``token`` on
+    its heartbeat-board row *before* running the call, and the row keeps
+    that token until the driver resets the slot — so a crash mid-batch
+    leaves the culprit call's token behind for the driver to map back to
+    the exact tile (DESIGN.md §14).
+    """
+    from multiprocessing import shared_memory
+
+    from ..kernels.stats import KernelStats
+    from .supervisor import worker_begin_task, worker_end_task, worker_self_fault
+
+    kernel = _WORKER_KERNEL_CACHE.get(kernel_blob)
+    if kernel is None:
+        kernel = pickle.loads(kernel_blob)
+        if len(_WORKER_KERNEL_CACHE) > 32:
+            _WORKER_KERNEL_CACHE.clear()
+        _WORKER_KERNEL_CACHE[kernel_blob] = kernel
+    segments: dict[str, Any] = {}
+
+    def _attach(name: str):
+        shm = segments.get(name)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=name)
+            segments[name] = shm
+        return shm
+
+    out_stats: list | None = [] if want_stats else None
+    try:
+        for token, inject, case, xdesc, udesc, vdesc, wdesc, gi0, gj0, gk0, n_global in envs:
+            worker_begin_task(token)
+            if inject is not None:
+                worker_self_fault(inject)
+            name, shape, dtype = xdesc
+            xshm = _attach(name)
+
+            def _run(
+                xshm=xshm,
+                shape=shape,
+                dtype=dtype,
+                case=case,
+                udesc=udesc,
+                vdesc=vdesc,
+                wdesc=wdesc,
+                gi0=gi0,
+                gj0=gj0,
+                gk0=gk0,
+                n_global=n_global,
+            ):
+                x = np.ndarray(shape, dtype=np.dtype(dtype), buffer=xshm.buf)
+                operands = {}
+                for role, desc in (("u", udesc), ("v", vdesc), ("w", wdesc)):
+                    operands[role] = _resolve_operand(
+                        desc, x, {}, None, pool=pool, attach=_attach
+                    )
+                stats = KernelStats() if want_stats else None
+                kernel.run(
+                    case,
+                    x,
+                    operands["u"],
+                    operands["v"],
+                    operands["w"],
+                    gi0,
+                    gj0,
+                    gk0,
+                    n_global,
+                    stats=stats,
+                )
+                return stats
+
+            # Views live only inside _run's frame, so the close() below
+            # is not blocked by exported buffers.
+            stats = _run()
+            if out_stats is not None:
+                out_stats.append(stats)
+            worker_end_task()
+        return out_stats
+    finally:
+        worker_end_task()
+        for shm in segments.values():
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+
+class _MemberDeadline(RuntimeError):
+    """Internal: a member batch was SIGKILLed for deadline overrun.
+
+    Wraps the resulting pool breakage so the elapsed time survives to
+    the crash handler (the batch analogue of ``deadline_note``).
+    """
+
+    def __init__(self, elapsed: float, cause: BaseException) -> None:
+        super().__init__(f"member batch SIGKILLed after {elapsed:.3f}s")
+        self.elapsed = elapsed
+        self.cause = cause
+
+
 class ProcessBackend(ThreadBackend):
-    """Thread orchestration plus a process pool for the kernel math."""
+    """Thread orchestration plus per-worker process pools for the kernel
+    math (one single-worker pool per slot — see ``__init__``)."""
 
     name = "processes"
 
@@ -357,6 +510,9 @@ class ProcessBackend(ThreadBackend):
         start_method: str | None = None,
         supervision: SupervisionConfig | None = None,
         fault_plan=None,
+        dispatch: str = "tile",
+        gang_stages: bool = False,
+        affinity: bool = True,
     ) -> None:
         super().__init__(total_slots, metrics=metrics)
         if not shm_supported():  # pragma: no cover - platform gate
@@ -367,7 +523,16 @@ class ProcessBackend(ThreadBackend):
 
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if dispatch not in ("tile", "batch"):
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
+        if gang_stages and dispatch != "batch":
+            raise ValueError("gang_stages requires dispatch='batch'")
         self.num_workers = num_workers
+        self.dispatch = dispatch
+        self.gang_stages = gang_stages
+        self.affinity = (
+            AffinityRegistry(num_workers, metrics=metrics) if affinity else None
+        )
         self.arena = SegmentArena(metrics=metrics)
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
@@ -387,11 +552,18 @@ class ProcessBackend(ThreadBackend):
             seed=fault_plan.seed if fault_plan is not None else 0,
         )
         self._pool_lock = threading.Lock()
-        self._generation = 0
         self._respawns = 0
-        # Eager creation: fork from the constructor's (driver) thread,
-        # before executor threads and their locks exist.
-        self._workers = self._make_pool(start_method)
+        self._rr = itertools.count()
+        # One single-worker pool per slot, created eagerly: fork from
+        # the constructor's (driver) thread, before executor threads and
+        # their locks exist.  A targeted submit queue per worker is what
+        # lets affinity routing and batch fusion address a *specific*
+        # worker — a shared ProcessPoolExecutor queue cannot.  Slot i is
+        # also heartbeat-board row i (fixed-slot claim in worker init).
+        self._pools: list | None = [
+            self._make_pool(start_method, slot) for slot in range(num_workers)
+        ]
+        self._generations = [0] * num_workers
         # Reap on unclean-but-orderly exits (sys.exit, uncaught error):
         # kill registered workers, unlink arena + board.  A SIGKILLed
         # driver never reaches atexit — that case is covered by the
@@ -399,22 +571,48 @@ class ProcessBackend(ThreadBackend):
         atexit.register(self._emergency_cleanup)
         self.supervisor.start_watchdog()
 
-    def _make_pool(self, method: str):
-        """One pool generation, initialized into the supervision layer."""
+    def _make_pool(self, method: str, slot: int):
+        """One worker-slot pool generation, joined to the supervision
+        layer on its fixed heartbeat-board row."""
         import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
 
         ctx = multiprocessing.get_context(method)
         return ProcessPoolExecutor(
-            max_workers=self.num_workers,
+            max_workers=1,
             mp_context=ctx,
             initializer=_worker_init,
-            initargs=(self.supervisor.worker_initargs(ctx),),
+            initargs=(self.supervisor.worker_initargs(ctx, slot=slot),),
         )
 
     @property
     def supports_kernel_offload(self) -> bool:  # type: ignore[override]
-        return self._workers is not None
+        return self._pools is not None
+
+    # -- placement -----------------------------------------------------
+    def _default_slot(self) -> int:
+        """First-touch placement: the running task's partition (the same
+        modulo the executor pool uses for task placement), else
+        round-robin for calls outside any task."""
+        task = CURRENT_TASK.get()
+        if task is not None:
+            return task.partition % self.num_workers
+        return next(self._rr) % self.num_workers
+
+    def _slot_pool(self, slot: int):
+        """Current ``(pool, generation)`` for one worker slot."""
+        with self._pool_lock:
+            if self._pools is None:
+                raise RuntimeError("process backend is shut down")
+            return self._pools[slot], self._generations[slot]
+
+    def reset_affinity(self) -> None:
+        if self.affinity is not None:
+            self.affinity.reset()
+
+    def invalidate_affinity(self, executor: int) -> None:
+        if self.affinity is not None:
+            self.affinity.invalidate_worker(executor % self.num_workers)
 
     # -- offload -------------------------------------------------------
     def _operand_desc(self, arr, x, seen: dict[int, str], role: str):
@@ -485,11 +683,12 @@ class ProcessBackend(ThreadBackend):
             if self.fault_plan is not None
             else None
         )
-        with self._pool_lock:
-            workers = self._workers
-            generation = self._generation
-        if workers is None:
-            raise RuntimeError("process backend is shut down")
+        default = self._default_slot()
+        if self.affinity is not None:
+            slot = self.affinity.route((gi0, gj0), default)
+        else:
+            slot = default % self.num_workers
+        pool, generation = self._slot_pool(slot)
         name, staged = self.arena.stage_scratch(x)
         try:
             xdesc = (name, staged.shape, staged.dtype.str)
@@ -500,7 +699,7 @@ class ProcessBackend(ThreadBackend):
             token = sup.next_token()
             deadline_note: dict[str, float] = {}
             try:
-                fut = workers.submit(
+                fut = pool.submit(
                     _kernel_task,
                     token,
                     inject,
@@ -516,7 +715,7 @@ class ProcessBackend(ThreadBackend):
                     n_global,
                     want_stats,
                 )
-                stats = self._await_result(fut, token, deadline_note)
+                stats = self._await_result(fut, token, slot, deadline_note)
             except RuntimeError as exc:
                 # BrokenProcessPool, or a plain RuntimeError from
                 # submitting against a pool a concurrent crash handler
@@ -526,12 +725,13 @@ class ProcessBackend(ThreadBackend):
                 if not isinstance(exc, BrokenProcessPool):
                     with self._pool_lock:
                         stale = (
-                            self._workers is not None
-                            and self._generation != generation
+                            self._pools is not None
+                            and self._generations[slot] != generation
                         )
                     if not stale:
                         raise
                 self._handle_worker_death(
+                    slot,
                     generation,
                     name,
                     task_sig,
@@ -546,13 +746,354 @@ class ProcessBackend(ThreadBackend):
             if self._metrics is not None:
                 self._metrics.kernel_offloads += 1
                 self._metrics.copies_eliminated += 1
+                self._metrics.dispatch_round_trips += 1
             return out, stats
         finally:
             del staged
             self.arena.free(name)
 
+    # -- batched offload -----------------------------------------------
+    def _batch_operand_desc(self, arr, x, pool: OperandPool):
+        """Transport descriptor for one batched operand.
+
+        Identity dedup happens at the pool level — an operand shared by
+        many calls of the batch (the pivot fan-out) ships once per
+        batch, the per-batch broadcast dedup.  Shared-memory residents
+        still go by name, zero-copy, exactly as in tile dispatch.
+        """
+        if arr is None:
+            return None
+        if arr is ALIAS_X or arr is x:
+            return ("alias-x",)
+        shm_name = getattr(arr, "shm_name", None)
+        if (
+            shm_name is not None
+            and isinstance(arr, ShmArray)
+            and self.arena.is_live(shm_name)
+        ):
+            return ("shm", shm_name, int(arr.shm_offset), arr.shape, arr.dtype.str)
+        return ("pool", pool.add(arr))
+
+    def _route_calls(self, calls: list) -> list[int]:
+        """Worker slot per call (DESIGN.md §14 placement policy).
+
+        Non-gang: the whole batch lands on ONE worker — majority vote of
+        the tiles' homes (affinity), else the calling task's partition —
+        so a stage costs one round-trip per worker.  Gang: each call
+        routes to its tile's home so the wave spreads across all
+        workers; first-touch tiles spread deterministically by tile
+        index (``gi0``/``gj0`` are multiples of the tile size, so a
+        plain coordinate modulo would collapse every tile onto slot 0).
+        """
+        W = self.num_workers
+        keys = [(c[5], c[6]) for c in calls]
+        if self.gang_stages:
+            defaults = []
+            for c in calls:
+                th, tw = c[1].shape[0] or 1, c[1].shape[1] or 1
+                ti, tj = c[5] // th, c[6] // tw
+                defaults.append((ti * 31 + tj * 17) % W)
+            if self.affinity is not None:
+                return self.affinity.route_many(keys, defaults)
+            return defaults
+        default = self._default_slot()
+        if self.affinity is not None:
+            slot = self.affinity.route_batch(keys, default)
+        else:
+            slot = default % W
+        return [slot] * len(calls)
+
+    def run_kernel_batch(
+        self, kernel_blob: bytes, calls: list, want_stats: bool = False
+    ) -> list:
+        """Fused offload: one IPC round-trip per worker, not per tile.
+
+        Each member batch (one worker's share of ``calls``) ships a
+        single envelope list plus an identity-deduped operand pool; the
+        worker updates every scratch tile in place and returns only the
+        stats list.  All members settle before any error propagates, so
+        a crashed member cannot leave another member racing the arena
+        sweep.  A member death runs the same crash protocol as tile
+        dispatch, with the culprit *call* attributed via the
+        driver-shipped fault or the token left on the dead worker's
+        heartbeat-board row — quarantine still names the exact tile.
+        Under gang mode the raised error fails the whole task attempt,
+        and the scheduler's retry re-runs the entire wave: all-or-
+        nothing semantics through the existing attempt machinery.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        if not calls:
+            return []
+        sup = self.supervisor
+        kernel_id = hashlib.blake2b(kernel_blob, digest_size=4).hexdigest()
+        sigs = []
+        for case, _x, _u, _v, _w, gi0, gj0, gk0, _n in calls:
+            sig = (kernel_id, case, gi0, gj0, gk0)
+            sigs.append(sig)
+            if sup.is_quarantined(sig):
+                coordinate = (gi0, gj0, gk0)
+                raise PoisonTaskError(
+                    f"kernel call case={case} tile@{coordinate} is quarantined "
+                    f"(killed {sup.failures(sig)} workers)",
+                    coordinate=coordinate,
+                    case=case,
+                    kernel_id=kernel_id,
+                    failures=sup.failures(sig),
+                )
+        injects = [
+            self.fault_plan.worker_fault(c[0], c[5], c[6], c[7])
+            if self.fault_plan is not None
+            else None
+            for c in calls
+        ]
+        slots = self._route_calls(calls)
+        members: dict[int, list[int]] = {}
+        for idx, slot in enumerate(slots):
+            members.setdefault(slot, []).append(idx)
+        if self.gang_stages and self._metrics is not None:
+            self._metrics.gang_dispatches += 1
+        results: list = [None] * len(calls)
+        views: dict[int, Any] = {}
+        all_names: list[str] = []
+        first_error: BaseException | None = None
+        try:
+            pending = []
+            for slot, idxs in sorted(members.items()):
+                pool, generation = self._slot_pool(slot)
+                opool = OperandPool()
+                envs = []
+                tokens = []
+                names = []
+                for idx in idxs:
+                    case, x, u, v, w, gi0, gj0, gk0, n_global = calls[idx]
+                    name, staged = self.arena.stage_scratch(x)
+                    all_names.append(name)
+                    names.append(name)
+                    views[idx] = staged
+                    token = sup.next_token()
+                    tokens.append(token)
+                    envs.append(
+                        (
+                            token,
+                            injects[idx],
+                            case,
+                            (name, staged.shape, staged.dtype.str),
+                            self._batch_operand_desc(u, x, opool),
+                            self._batch_operand_desc(v, x, opool),
+                            self._batch_operand_desc(w, x, opool),
+                            gi0,
+                            gj0,
+                            gk0,
+                            n_global,
+                        )
+                    )
+                fut = pool.submit(
+                    _kernel_batch_task,
+                    kernel_blob,
+                    opool.payload(),
+                    envs,
+                    want_stats,
+                )
+                if self._metrics is not None:
+                    self._metrics.dispatch_round_trips += 1
+                    self._metrics.batch_dispatches += 1
+                pending.append((slot, idxs, fut, tokens, names, generation))
+            for slot, idxs, fut, tokens, names, generation in pending:
+                try:
+                    stats_list = self._await_member(fut, slot, len(idxs))
+                except TaskDeadlineExceeded as exc:
+                    # Still-queued member cancelled outright: retryable,
+                    # no worker was harmed, keep settling the rest.
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                except RuntimeError as exc:
+                    deadline_elapsed = None
+                    if isinstance(exc, _MemberDeadline):
+                        deadline_elapsed = exc.elapsed
+                        exc = exc.cause
+                    if not isinstance(exc, BrokenProcessPool):
+                        with self._pool_lock:
+                            stale = (
+                                self._pools is not None
+                                and self._generations[slot] != generation
+                            )
+                        if not stale:
+                            raise
+                    err = self._handle_member_death(
+                        slot,
+                        generation,
+                        idxs,
+                        tokens,
+                        names,
+                        sigs,
+                        calls,
+                        injects,
+                        kernel_id,
+                        cause=exc,
+                        deadline_elapsed=deadline_elapsed,
+                    )
+                    if first_error is None:
+                        first_error = err
+                    continue
+                for pos, idx in enumerate(idxs):
+                    stats = stats_list[pos] if stats_list is not None else None
+                    results[idx] = (np.array(views[idx]), stats)
+                if self._metrics is not None:
+                    n = len(idxs)
+                    self._metrics.kernel_offloads += n
+                    self._metrics.copies_eliminated += n
+                    self._metrics.batched_kernel_calls += n
+            if first_error is not None:
+                if (
+                    self.gang_stages
+                    and self._metrics is not None
+                    and isinstance(
+                        first_error, (WorkerCrashed, TaskDeadlineExceeded)
+                    )
+                ):
+                    # Retryable gang failure: the scheduler re-runs the
+                    # whole wave (all-or-nothing).
+                    self._metrics.gang_retries += 1
+                raise first_error
+            return results
+        finally:
+            views.clear()
+            for name in all_names:
+                self.arena.free(name)
+
+    def _await_member(self, fut, slot: int, ncalls: int):
+        """Wait for one member batch under a scaled deadline.
+
+        The per-call ``task_deadline`` budget multiplies by the member's
+        call count — a batch of 20 legitimately runs 20 kernels.  On
+        overrun: cancel a still-queued member outright (retryable,
+        typed), else SIGKILL the slot's worker and let the resulting
+        pool breakage carry the elapsed time to the crash handler via
+        :class:`_MemberDeadline`.
+        """
+        deadline = self.supervision.task_deadline
+        if deadline is None:
+            return fut.result()
+        budget = deadline * max(ncalls, 1)
+        sup = self.supervisor
+        start = time.monotonic()
+        killed = False
+        kill_elapsed = None
+        while True:
+            try:
+                return fut.result(timeout=0.05)
+            except FuturesTimeoutError:
+                elapsed = time.monotonic() - start
+                if elapsed <= budget or killed:
+                    continue
+                if self._metrics is not None:
+                    self._metrics.deadlines_exceeded += 1
+                if fut.cancel():
+                    raise TaskDeadlineExceeded(
+                        f"batch of {ncalls} still queued after "
+                        f"{elapsed:.3f}s (budget {budget}s)",
+                        deadline=budget,
+                        elapsed=elapsed,
+                    ) from None
+                kill_elapsed = elapsed
+                pid = sup.pid_for_slot(slot)
+                if pid is not None:
+                    sup._signal(pid, signal.SIGKILL)
+                else:
+                    sup.kill_workers()
+                killed = True
+            except RuntimeError as exc:
+                if killed and kill_elapsed is not None:
+                    raise _MemberDeadline(kill_elapsed, exc) from exc
+                raise
+
+    def _handle_member_death(
+        self,
+        slot: int,
+        generation: int,
+        idxs: list[int],
+        tokens: list[int],
+        names: list[str],
+        sigs: list,
+        calls: list,
+        injects: list,
+        kernel_id: str,
+        *,
+        cause: BaseException,
+        deadline_elapsed: float | None,
+    ) -> BaseException:
+        """Crash protocol for one dead member batch; returns the typed
+        error (the caller settles the remaining members before raising).
+
+        Culprit attribution, in priority order: the call carrying a
+        driver-shipped fault; the call whose token the dead worker last
+        published on its board row (read *before* the respawn resets the
+        row); the member's first call.  The failure is counted against
+        that one call's poison budget, so quarantine names the exact
+        tile even though the whole batch died with the worker.
+        """
+        sup = self.supervisor
+        culprit = next((idx for idx in idxs if injects[idx] is not None), None)
+        if culprit is None:
+            tok = sup.token_for_slot(slot)
+            if tok:
+                for pos, idx in enumerate(idxs):
+                    if tokens[pos] == tok:
+                        culprit = idx
+                        break
+        if culprit is None:
+            culprit = idxs[0]
+        if self._metrics is not None:
+            self._metrics.worker_crashes += 1
+        # The dead worker can no longer write its scratch tiles: reclaim
+        # the member's orphans now (the outer ``finally`` free is
+        # idempotent and becomes a no-op).
+        for name in names:
+            if self.arena.free(name) and self._metrics is not None:
+                self._metrics.orphan_segments_reclaimed += 1
+        self._respawn_slot(slot, generation)
+        task_sig = sigs[culprit]
+        case = calls[culprit][0]
+        coordinate = (calls[culprit][5], calls[culprit][6], calls[culprit][7])
+        failures = sup.record_failure(task_sig)
+        inject = injects[culprit]
+        reason = inject or (
+            "deadline" if deadline_elapsed is not None else "crash"
+        )
+        err: BaseException
+        if failures >= self.supervision.max_task_failures:
+            sup.quarantine(task_sig)
+            err = PoisonTaskError(
+                f"batched kernel call case={case} tile@{coordinate} killed "
+                f"{failures} fresh workers ({reason}); quarantined as poison",
+                coordinate=coordinate,
+                case=case,
+                kernel_id=kernel_id,
+                failures=failures,
+            )
+        elif deadline_elapsed is not None:
+            err = TaskDeadlineExceeded(
+                f"batch of {len(idxs)} (culprit case={case} "
+                f"tile@{coordinate}) SIGKILLed after {deadline_elapsed:.3f}s",
+                deadline=self.supervision.task_deadline,
+                elapsed=deadline_elapsed,
+            )
+        else:
+            err = WorkerCrashed(
+                f"worker died mid-batch ({reason}) on case={case} "
+                f"tile@{coordinate} (batch of {len(idxs)}); slot {slot} "
+                f"respawned (failure {failures}/"
+                f"{self.supervision.max_task_failures})",
+                reason=reason,
+                slot=slot,
+            )
+        err.__cause__ = cause
+        return err
+
     # -- supervision ---------------------------------------------------
-    def _await_result(self, fut, token: int, deadline_note: dict):
+    def _await_result(self, fut, token: int, slot: int, deadline_note: dict):
         """Wait for a worker result under the per-call deadline.
 
         No deadline: a plain blocking wait (a hang is still covered by
@@ -588,17 +1129,21 @@ class ProcessBackend(ThreadBackend):
                     ) from None
                 deadline_note["elapsed"] = elapsed
                 pid = sup.pid_for_token(token)
+                if pid is None:
+                    # Call between submit and begin — the slot's own
+                    # board row still names the worker executing it.
+                    pid = sup.pid_for_slot(slot)
                 if pid is not None:
                     sup._signal(pid, signal.SIGKILL)
                 else:
-                    # Token not on the board (no shm board, or the call
-                    # is between submit and begin): no way to target the
-                    # one worker — reap them all rather than hang.
+                    # No shm board at all: no way to target the one
+                    # worker — reap them all rather than hang.
                     sup.kill_workers()
                 killed = True  # pool break delivers BrokenProcessPool
 
     def _handle_worker_death(
         self,
+        slot: int,
         generation: int,
         scratch_name: str,
         task_sig: tuple,
@@ -624,7 +1169,7 @@ class ProcessBackend(ThreadBackend):
         # idempotent and becomes a no-op).
         if self.arena.free(scratch_name) and self._metrics is not None:
             self._metrics.orphan_segments_reclaimed += 1
-        self._respawn(generation)
+        self._respawn_slot(slot, generation)
         sup = self.supervisor
         failures = sup.record_failure(task_sig)
         reason = inject or ("deadline" if deadline_elapsed is not None else "crash")
@@ -648,42 +1193,49 @@ class ProcessBackend(ThreadBackend):
             ) from cause
         raise WorkerCrashed(
             f"worker died mid-kernel ({reason}) on case={case} "
-            f"tile@{coordinate}; pool respawned (failure {failures}/"
+            f"tile@{coordinate}; slot {slot} respawned (failure {failures}/"
             f"{self.supervision.max_task_failures})",
             reason=reason,
+            slot=slot,
         ) from cause
 
-    def _respawn(self, observed_generation: int) -> None:
-        """Reap the broken pool and start a fresh generation (once).
+    def _respawn_slot(self, slot: int, observed_generation: int) -> None:
+        """Reap one slot's broken pool and start a fresh generation.
 
-        Single-flight: concurrent crashed calls race here, the first
-        one (by ``observed_generation``) does the work, the rest return
-        and retry against the new pool.  Sleeps the deterministic
+        Single-flight per slot: concurrent crashed calls race here, the
+        first one (by ``observed_generation``) does the work, the rest
+        return and retry against the new pool.  Sleeps the deterministic
         bounded backoff *inside* the lock so stampeding threads queue
         behind one respawn instead of interleaving kill/create cycles.
+        Other slots' workers keep running — a crash costs one worker's
+        warm state, not the whole plane's.  The dead slot's tile
+        placements are spilled afterwards so affinity re-homes them
+        instead of chasing a cold respawn.
         """
         sup = self.supervisor
         with self._pool_lock:
-            if self._workers is None or self._generation != observed_generation:
+            if self._pools is None or self._generations[slot] != observed_generation:
                 return
             self._respawns += 1
             delay = sup.respawn_delay(self._respawns)
             if delay > 0:
                 time.sleep(delay)
-            # SIGKILL stragglers first: a SIGSTOPped (hung) worker never
-            # drains its queue, and executor shutdown alone would leave
-            # it frozen forever.
-            sup.kill_workers()
-            old = self._workers
+            # SIGKILL the straggler first: a SIGSTOPped (hung) worker
+            # never drains its queue, and executor shutdown alone would
+            # leave it frozen forever.
+            sup.kill_slot(slot)
+            old = self._pools[slot]
             try:
                 old.shutdown(wait=False, cancel_futures=True)
             except Exception:  # pragma: no cover - broken-pool teardown
                 pass
-            sup.reset_board()
-            self._workers = self._make_pool(self._respawn_method)
-            self._generation += 1
+            sup.reset_slot(slot)
+            self._pools[slot] = self._make_pool(self._respawn_method, slot)
+            self._generations[slot] += 1
             if self._metrics is not None:
-                self._metrics.workers_respawned += self.num_workers
+                self._metrics.workers_respawned += 1
+        if self.affinity is not None:
+            self.affinity.invalidate_worker(slot)
 
     # -- lifecycle -----------------------------------------------------
     def stage_complete(self) -> None:
@@ -699,13 +1251,14 @@ class ProcessBackend(ThreadBackend):
         try:
             sup = self.supervisor
             with self._pool_lock:
-                workers, self._workers = self._workers, None
-            if workers is not None:
+                pools, self._pools = self._pools, None
+            if pools is not None:
                 sup.kill_workers()
-                try:
-                    workers.shutdown(wait=False, cancel_futures=True)
-                except Exception:
-                    pass
+                for pool in pools:
+                    try:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                    except Exception:
+                        pass
             sup.destroy()
             self.arena.cleanup()
         except Exception:
@@ -714,9 +1267,10 @@ class ProcessBackend(ThreadBackend):
     def shutdown(self) -> None:
         self.supervisor.stop_watchdog()
         with self._pool_lock:
-            workers, self._workers = self._workers, None
-        if workers is not None:
-            workers.shutdown(wait=True, cancel_futures=True)
+            pools, self._pools = self._pools, None
+        if pools is not None:
+            for pool in pools:
+                pool.shutdown(wait=True, cancel_futures=True)
         self.supervisor.destroy()
         self.arena.cleanup()
         atexit.unregister(self._emergency_cleanup)
@@ -731,17 +1285,25 @@ def make_backend(
     metrics=None,
     supervision: SupervisionConfig | None = None,
     fault_plan=None,
+    dispatch: str = "tile",
+    gang_stages: bool = False,
+    affinity: bool = True,
 ) -> ExecutionBackend:
     """Build a backend by CLI name (``threads`` | ``processes``).
 
     ``supervision``/``fault_plan`` only bite under ``processes`` — the
     thread backend has no process boundary, so there is nothing to
     heartbeat, kill, or respawn (its tasks run under the scheduler's
-    own simulated-fault machinery instead).
+    own simulated-fault machinery instead).  ``dispatch``/
+    ``gang_stages``/``affinity`` likewise: without kernel offload there
+    is no round-trip to batch and no worker to prefer, so the thread
+    backend records the requested mode and ignores it.
     """
     if name == "threads":
         backend = ThreadBackend(total_slots, metrics=metrics)
         backend.supervision = supervision
+        backend.dispatch = dispatch
+        backend.gang_stages = gang_stages
         return backend
     if name == "processes":
         return ProcessBackend(
@@ -750,5 +1312,8 @@ def make_backend(
             metrics=metrics,
             supervision=supervision,
             fault_plan=fault_plan,
+            dispatch=dispatch,
+            gang_stages=gang_stages,
+            affinity=affinity,
         )
     raise ValueError(f"unknown backend {name!r} (expected one of {BACKENDS})")

@@ -118,6 +118,23 @@ class SparkleContext:
         Worker deaths one kernel call may cause before it is
         quarantined as poison
         (:class:`~repro.sparkle.errors.PoisonTaskError`).
+    dispatch:
+        Kernel-offload dispatch mode of the process backend (DESIGN.md
+        §14): ``"tile"`` (historical; one driver↔worker round-trip per
+        tile update) or ``"batch"`` (a stage's tile updates fuse into
+        per-worker batches — one round-trip per worker per wave).
+        Results are bit-identical across modes.  Ignored by the thread
+        backend (no round-trip to batch).
+    gang_stages:
+        Barrier stage mode (JAMPI-style): dispatch an entire kernel
+        wave as one gang spread across all workers, with all-or-nothing
+        retry through the scheduler's attempt machinery.  Requires
+        ``dispatch="batch"``.
+    affinity:
+        Tile-affinity scheduling: keep each tile landing on the worker
+        whose arena slab already holds it (Spark preferred locations in
+        miniature), with graceful rebalance on quarantine/respawn.
+        Metered as ``affinity_hits``/``affinity_misses``.
     """
 
     def __init__(
@@ -143,6 +160,9 @@ class SparkleContext:
         heartbeat_interval: float = 0.25,
         task_deadline: float | None = None,
         max_task_failures: int = 3,
+        dispatch: str = "tile",
+        gang_stages: bool = False,
+        affinity: bool = True,
     ) -> None:
         self.num_executors = num_executors
         self.cores_per_executor = cores_per_executor
@@ -157,7 +177,16 @@ class SparkleContext:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
+        if dispatch not in ("tile", "batch"):
+            raise ValueError(
+                f"unknown dispatch mode {dispatch!r}; expected 'tile' or 'batch'"
+            )
+        if gang_stages and dispatch != "batch":
+            raise ValueError("gang_stages requires dispatch='batch'")
         self.backend = backend
+        self.dispatch = dispatch
+        self.gang_stages = gang_stages
+        self.affinity = affinity
         self.metrics = EngineMetrics()
         self.metrics.backend = backend
         self.failure_injector = failure_injector
@@ -174,6 +203,9 @@ class SparkleContext:
             backend=backend,
             supervision=self.supervision,
             fault_plan=fault_plan,
+            dispatch=dispatch,
+            gang_stages=gang_stages,
+            affinity=affinity,
         )
         #: shared-memory arena of the process backend (None for threads)
         self.arena = getattr(self._executors.backend, "arena", None)

@@ -170,13 +170,23 @@ class WorkerCrashed(SparkleError):
     the normal backoff machinery, and the retry lands on a fresh worker.
     """
 
-    def __init__(self, message: str, pid: int | None = None, reason: str = "crash") -> None:
+    def __init__(
+        self,
+        message: str,
+        pid: int | None = None,
+        reason: str = "crash",
+        slot: int | None = None,
+    ) -> None:
         super().__init__(message)
         self.pid = pid
         self.reason = reason
+        #: worker slot (== executor id) that died — under affinity
+        #: routing this may differ from the partition's nominal
+        #: executor, and fault accounting should charge the real victim
+        self.slot = slot
 
     def __reduce__(self):
-        return (type(self), (self.args[0], self.pid, self.reason))
+        return (type(self), (self.args[0], self.pid, self.reason, self.slot))
 
 
 class TaskDeadlineExceeded(SparkleError):

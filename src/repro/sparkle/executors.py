@@ -43,6 +43,9 @@ class ExecutorPool:
         backend: str | ExecutionBackend = "threads",
         supervision=None,
         fault_plan=None,
+        dispatch: str = "tile",
+        gang_stages: bool = False,
+        affinity: bool = True,
     ) -> None:
         if num_executors < 1 or cores_per_executor < 1:
             raise ValueError("executors and cores must be >= 1")
@@ -60,6 +63,9 @@ class ExecutorPool:
                 metrics=metrics,
                 supervision=supervision,
                 fault_plan=fault_plan,
+                dispatch=dispatch,
+                gang_stages=gang_stages,
+                affinity=affinity,
             )
         self._lock = threading.Lock()
         self._blacklisted: set[int] = set()
@@ -111,7 +117,11 @@ class ExecutorPool:
             self._healthy = tuple(
                 e for e in range(self.num_executors) if e not in self._blacklisted
             )
-            return True
+        # Spill the dead executor's tile placements (outside the lock;
+        # the registry has its own) so affinity re-homes them instead of
+        # chasing a blacklisted worker.
+        self.backend.invalidate_affinity(executor)
+        return True
 
     # ------------------------------------------------------------------
     # execution (delegated to the backend)

@@ -392,11 +392,15 @@ class DAGScheduler:
                 metrics.tasks_retried += 1
                 if isinstance(exc, TransientIOError):
                     metrics.transient_io_failures += 1
-                faulty = (
-                    exc.executor
-                    if isinstance(exc, ExecutorLost)
-                    else ctx._executors.executor_for(partition)
-                )
+                if isinstance(exc, ExecutorLost):
+                    faulty = exc.executor
+                elif isinstance(exc, WorkerCrashed) and exc.slot is not None:
+                    # Affinity routing may have run this task's kernels
+                    # on a worker other than the partition's nominal
+                    # executor; charge the fault to the slot that died.
+                    faulty = exc.slot % ctx._executors.num_executors
+                else:
+                    faulty = ctx._executors.executor_for(partition)
                 self._count_executor_fault(faulty)
                 continue
             except PoisonTaskError:

@@ -61,6 +61,7 @@ except ImportError:  # pragma: no cover
 __all__ = [
     "SerializedMapOutput",
     "pack_map_output",
+    "OperandPool",
     "SegmentArena",
     "ShmArray",
     "share_nested",
@@ -206,6 +207,45 @@ def pack_map_output(
         b.nbytes for b in pool
     )
     return SerializedMapOutput(streams, buffer_index, pool, nbytes, logical_nbytes)
+
+
+class OperandPool:
+    """Identity-deduplicated inline-operand pool for one batch envelope.
+
+    A batched kernel dispatch fuses many tile updates into one
+    round-trip; their operands overlap heavily (every D update in an
+    iteration reads the same pivot row/column tiles).  Instead of
+    inlining each operand per call, the batch ships one flat list of
+    arrays and each call's descriptor names its operands by pool index
+    — the pivot crosses the IPC boundary once per batch, not once per
+    tile (the per-batch broadcast dedup of DESIGN.md §14).
+
+    Dedup is by the identity of the array object, mirroring
+    :func:`pack_map_output`; arrays are made contiguous on first add so
+    the worker can wrap them without a copy.
+    """
+
+    __slots__ = ("_arrays", "_ids")
+
+    def __init__(self) -> None:
+        self._arrays: list[np.ndarray] = []
+        self._ids: dict[int, int] = {}
+
+    def add(self, arr: np.ndarray) -> int:
+        """Intern ``arr`` and return its pool index."""
+        idx = self._ids.get(id(arr))
+        if idx is None:
+            idx = len(self._arrays)
+            self._arrays.append(np.ascontiguousarray(arr))
+            self._ids[id(arr)] = idx
+        return idx
+
+    def payload(self) -> list[np.ndarray]:
+        """The flat array list to ship with the batch envelope."""
+        return self._arrays
+
+    def __len__(self) -> int:
+        return len(self._arrays)
 
 
 # ----------------------------------------------------------------------

@@ -189,6 +189,11 @@ class HeartbeatBoard:
         if self.cells is not None:
             self.cells[:] = 0
 
+    def reset_row(self, slot: int) -> None:
+        """Blank one row (single-slot pool respawn)."""
+        if self.cells is not None and 0 <= slot < self.slots:
+            self.cells[slot, :] = 0
+
     def destroy(self) -> None:
         if self._shm is None:
             return
@@ -237,12 +242,17 @@ class WorkerSupervisor:
         self._watchdog_stop = threading.Event()
 
     # -- pool wiring ---------------------------------------------------
-    def worker_initargs(self, ctx) -> tuple:
+    def worker_initargs(self, ctx, slot: int | None = None) -> tuple:
         """Arguments for :func:`_attach_worker` via the pool initializer.
 
         Called once per pool generation with that pool's multiprocessing
         context, so the slot-claim lock is always transferable to its
-        workers (fork inherits it; spawn pickles it).
+        workers (fork inherits it; spawn pickles it).  ``slot`` pins the
+        worker to a fixed board row — the per-worker single-slot pools
+        of the batched data plane claim row ``i`` for pool ``i`` instead
+        of scanning for the first free row, so the driver can map a slot
+        to a pid (and the in-flight call token) without races between
+        pools holding different claim locks.
         """
         board = self.board
         return (
@@ -252,6 +262,7 @@ class WorkerSupervisor:
             self.config.heartbeat_interval or 0.0,
             self.prefix,
             os.getpid(),
+            slot,
         )
 
     def next_token(self) -> int:
@@ -260,6 +271,37 @@ class WorkerSupervisor:
     def pid_for_token(self, token: int) -> int | None:
         with self._board_lock:
             return self.board.pid_for_token(token) if self.board else None
+
+    def pid_for_slot(self, slot: int) -> int | None:
+        """The pid claimed on board row ``slot`` (fixed-slot pools)."""
+        with self._board_lock:
+            board = self.board
+            if board is None or board.cells is None:
+                return None
+            if not 0 <= slot < board.slots:
+                return None
+            pid = int(board.cells[slot, COL_PID])
+            return pid or None
+
+    def token_for_slot(self, slot: int) -> int:
+        """The in-flight call token on row ``slot`` (0 = idle).
+
+        A crashed worker's row keeps its last published token until the
+        driver resets the slot, which is how a batch member's failure is
+        attributed back to the exact tile that was executing.
+        """
+        with self._board_lock:
+            board = self.board
+            if board is None or board.cells is None:
+                return 0
+            if not 0 <= slot < board.slots:
+                return 0
+            return int(board.cells[slot, COL_TOKEN])
+
+    def kill_slot(self, slot: int) -> bool:
+        """SIGKILL the one worker claimed on ``slot`` (if any)."""
+        pid = self.pid_for_slot(slot)
+        return self._signal(pid, signal.SIGKILL) if pid is not None else False
 
     def worker_pids(self) -> list[int]:
         with self._board_lock:
@@ -277,6 +319,14 @@ class WorkerSupervisor:
         with self._board_lock:
             if self.board is not None:
                 self.board.reset()
+
+    def reset_slot(self, slot: int) -> None:
+        """Blank one row before respawning that slot's pool — the dead
+        pid (and its stale token) must not linger for the watchdog or
+        the batch attribution path to trip over."""
+        with self._board_lock:
+            if self.board is not None:
+                self.board.reset_row(slot)
 
     def _signal(self, pid: int, sig: int) -> bool:
         if pid <= 0 or pid == os.getpid():
@@ -422,6 +472,7 @@ def _attach_worker(
     beat_interval: float,
     prefix: str,
     driver_pid: int,
+    fixed_slot: int | None = None,
 ) -> None:  # pragma: no cover - runs in worker processes
     """Pool initializer tail: join the board, start beats + janitor.
 
@@ -429,6 +480,14 @@ def _attach_worker(
     breaks a worker (an initializer exception marks the whole pool
     broken), so any failure here degrades to an unsupervised-but-working
     worker.
+
+    ``fixed_slot`` claims exactly that board row (the per-worker
+    single-slot pools of the batched data plane); the legacy shared-pool
+    path (``None``) scans for the first free row under the claim lock.
+    A fixed-slot claim overwrites whatever pid is on the row — by the
+    respawn protocol the previous occupant is dead and the driver has
+    reset the row, so the overwrite is only a belt-and-braces guard
+    against a raced reset.
     """
     try:
         _start_janitor(prefix, driver_pid)
@@ -444,11 +503,17 @@ def _attach_worker(
         cells = np.ndarray((slots, BOARD_COLS), dtype=np.int64, buffer=shm.buf)
         slot = None
         with claim_lock:
-            for row in range(slots):
-                if int(cells[row, COL_PID]) == 0:
-                    cells[row, COL_PID] = os.getpid()
-                    slot = row
-                    break
+            if fixed_slot is not None:
+                if 0 <= fixed_slot < slots:
+                    cells[fixed_slot, COL_TOKEN] = 0
+                    cells[fixed_slot, COL_PID] = os.getpid()
+                    slot = fixed_slot
+            else:
+                for row in range(slots):
+                    if int(cells[row, COL_PID]) == 0:
+                        cells[row, COL_PID] = os.getpid()
+                        slot = row
+                        break
         if slot is None:
             shm.close()
             return

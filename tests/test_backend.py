@@ -120,6 +120,113 @@ def test_property_backends_bit_identical(name, strategy, n, r, seed):
     assert p_rep.engine_metrics.backend == "processes"
 
 
+# Every way a tile update can reach a kernel: in-process, one IPC
+# round-trip per tile, one round-trip per worker per stage, and a
+# barrier gang spread over the whole pool.  All four must be
+# bit-identical with the same scheduler shape (DESIGN.md §14).
+DISPATCH_MODES = [
+    ("threads", {}),
+    ("processes", {"dispatch": "tile"}),
+    ("processes", {"dispatch": "batch"}),
+    ("processes", {"dispatch": "batch", "gang_stages": True}),
+]
+
+
+@needs_shm
+@pytest.mark.batching
+@given(
+    name=st.sampled_from(sorted(SPECS)),
+    strategy=st.sampled_from(["im", "cb", "bcast"]),
+    n=st.integers(min_value=6, max_value=16),
+    r=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=30),
+    chaos_seed=st.one_of(st.none(), st.integers(min_value=0, max_value=20)),
+)
+@settings(max_examples=8, deadline=None)
+def test_property_dispatch_modes_bit_identical(
+    name, strategy, n, r, seed, chaos_seed
+):
+    """The batching tentpole's differential property: every dispatch
+    mode produces the same bits AND replays the same scheduler shape
+    (jobs/stages/tasks) — batching fuses IPC round-trips, never the
+    RDD graph — with or without seeded chaos, leaking nothing."""
+    spec_cls, make = SPECS[name]
+    spec = spec_cls()
+    table = make(n, seed=seed)
+    results = {}
+    for backend, kw in DISPATCH_MODES:
+        plan = (
+            None
+            if chaos_seed is None
+            else FaultPlan(
+                seed=chaos_seed,
+                specs=[FaultSpec("kill", 0.1), FaultSpec("storage", 0.05)],
+            )
+        )
+        out, report, leftovers = _solve(
+            backend,
+            spec,
+            table.copy(),
+            strategy=strategy,
+            r=r,
+            fault_plan=plan,
+            sc_kw=kw,
+        )
+        assert leftovers == [], (
+            f"leaked shm segments on {backend}/{kw}: {leftovers}"
+        )
+        results[(backend, tuple(sorted(kw)))] = (out, report)
+    (ref_out, ref_rep), *rest = results.values()
+    for mode, (out, rep) in zip(DISPATCH_MODES[1:], rest):
+        assert np.array_equal(ref_out, out), f"{mode} output diverges"
+        assert _shape_claims(ref_rep) == _shape_claims(rep), (
+            f"{mode} scheduler shape diverges"
+        )
+
+
+@needs_shm
+@pytest.mark.batching
+def test_batch_dispatch_cuts_round_trips():
+    """The whole point: batched dispatch crosses the IPC boundary once
+    per worker per stage instead of once per tile, while the per-tile
+    work accounting (kernel_offloads) stays identical."""
+    spec = FloydWarshallGep()
+    table = fw_table(24, seed=1)
+    metrics = {}
+    for mode in ("tile", "batch"):
+        out, report, _ = _solve(
+            "processes", spec, table.copy(), r=4, sc_kw={"dispatch": mode}
+        )
+        metrics[mode] = (out, report.engine_metrics)
+    t_out, t_m = metrics["tile"]
+    b_out, b_m = metrics["batch"]
+    assert np.array_equal(t_out, b_out)
+    assert t_m.kernel_offloads == b_m.kernel_offloads > 0
+    assert t_m.dispatch_round_trips == t_m.kernel_offloads
+    assert b_m.dispatch_round_trips < t_m.dispatch_round_trips
+    assert b_m.batch_dispatches > 0
+    # Every offload is accounted exactly once: batched calls plus the
+    # single-tile per-call dispatches (the A-stage pivot update has
+    # nothing to fuse) cover the total.
+    per_tile_calls = b_m.dispatch_round_trips - b_m.batch_dispatches
+    assert b_m.batched_kernel_calls + per_tile_calls == b_m.kernel_offloads
+
+
+@pytest.mark.batching
+def test_dispatch_validation():
+    with pytest.raises(ValueError, match="dispatch"):
+        SparkleContext(2, 1, backend="processes", dispatch="fused")
+    with pytest.raises(ValueError, match="gang_stages"):
+        SparkleContext(2, 1, backend="processes", gang_stages=True)
+    spec = FloydWarshallGep()
+    t = fw_table(8, seed=0)
+    with pytest.raises(ValueError, match="engine='spark'"):
+        run_gep(spec, t, engine="local", dispatch="batch")
+    with SparkleContext(1, 1) as sc:
+        with pytest.raises(ValueError, match="owned context"):
+            run_gep(spec, t, engine="spark", dispatch="batch", sc=sc)
+
+
 @needs_shm
 @pytest.mark.parametrize("strategy", ["im", "cb", "bcast"])
 def test_kernel_stats_identical_across_backends(strategy):

@@ -1,0 +1,97 @@
+"""Bench gate for the batched dispatch plane (tier-2, ``make bench-gate``).
+
+The regression this locks down: BENCH_engine.json once recorded the
+process backend *losing* to threads because every tile update paid its
+own IPC round-trip.  Batched dispatch must (a) cut driver<->worker
+round-trips by at least 10x at gate scale and (b) never regress
+wall-clock by more than 10% against per-tile dispatch.  The round-trip
+claim is a pure counter comparison and runs everywhere; the wall-clock
+claim needs real parallelism and skips on single-core hosts (the
+``multi_worker`` fixture).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.dpspark import GepSparkSolver, make_kernel
+from repro.core.gep import FloydWarshallGep
+from repro.sparkle import SparkleContext
+from repro.sparkle.serialize import shm_supported
+
+from .conftest import fw_table
+
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.batching,
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        not shm_supported(), reason="needs multiprocessing.shared_memory"
+    ),
+]
+
+GATE_N = 96
+GATE_R = 12
+MIN_ROUND_TRIP_REDUCTION = 10.0
+MAX_WALL_REGRESSION = 1.10
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _measure():
+    """Run the pinned gate workload once per dispatch mode (cached
+    across the gate's tests) and collect wall + dispatch counters."""
+    if _RESULTS:
+        return _RESULTS
+    spec = FloydWarshallGep()
+    table = fw_table(GATE_N, seed=0)
+    for mode in ("tile", "batch"):
+        with SparkleContext(
+            2, 2, backend="processes", dispatch=mode
+        ) as sc:
+            solver = GepSparkSolver(
+                spec,
+                sc,
+                r=GATE_R,
+                kernel=make_kernel(spec, "iterative"),
+                strategy="im",
+                # one partition per worker slot: the tuned configuration
+                # (matches bench_driver.py); more partitions only shrink
+                # each batch
+                num_partitions=4,
+            )
+            t0 = time.perf_counter()
+            out, _ = solver.solve(table.copy())
+            wall = time.perf_counter() - t0
+            _RESULTS[mode] = {
+                "out": out,
+                "wall": wall,
+                **sc.metrics.dispatch_summary(),
+            }
+    return _RESULTS
+
+
+def test_gate_round_trip_reduction():
+    res = _measure()
+    assert np.array_equal(res["tile"]["out"], res["batch"]["out"])
+    tile_rt = res["tile"]["dispatch_round_trips"]
+    batch_rt = res["batch"]["dispatch_round_trips"]
+    assert tile_rt > 0 and batch_rt > 0, "gate workload must offload"
+    reduction = tile_rt / batch_rt
+    assert reduction >= MIN_ROUND_TRIP_REDUCTION, (
+        f"batched dispatch only cut round-trips {reduction:.1f}x "
+        f"({tile_rt} -> {batch_rt}); the gate requires "
+        f">= {MIN_ROUND_TRIP_REDUCTION:.0f}x"
+    )
+
+
+def test_gate_no_wall_clock_regression(multi_worker):
+    res = _measure()
+    tile_wall, batch_wall = res["tile"]["wall"], res["batch"]["wall"]
+    assert batch_wall <= tile_wall * MAX_WALL_REGRESSION, (
+        f"batched dispatch regressed wall-clock: {batch_wall:.2f}s vs "
+        f"{tile_wall:.2f}s per-tile (limit {MAX_WALL_REGRESSION:.0%})"
+    )

@@ -1,0 +1,151 @@
+"""Gang stages: barrier dispatch of whole kernel waves.
+
+With ``gang_stages=True`` a batched kernel wave is spread across the
+entire worker pool and settled as one barrier gang (JAMPI-style): if
+any member fails, the *whole* wave fails and retries through the
+scheduler's existing attempt/backoff machinery — all-or-nothing, never
+a half-applied wave.  The invariants mirror the supervision suite: a
+gang subjected to real SIGKILL/SIGSTOP worker faults must finish
+bit-identical to a fault-free run, meter its retries, and leak neither
+worker processes nor ``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.dpspark import GepSparkSolver, make_kernel
+from repro.core.gep import FloydWarshallGep
+from repro.sparkle import FaultPlan, SparkleContext
+from repro.sparkle.serialize import shm_supported
+
+from .conftest import fw_table
+from .test_supervision import _leaked_children
+
+pytestmark = [
+    pytest.mark.batching,
+    pytest.mark.supervision,
+    pytest.mark.skipif(
+        not shm_supported(), reason="needs multiprocessing.shared_memory"
+    ),
+]
+
+SPEC = FloydWarshallGep()
+
+
+def _solve(sc, table, *, r=4, strategy="im"):
+    solver = GepSparkSolver(
+        SPEC, sc, r=r, kernel=make_kernel(SPEC, "iterative"), strategy=strategy
+    )
+    return solver.solve(table.copy())
+
+
+def _baseline(table, *, r=4, strategy="im"):
+    with SparkleContext(2, 2) as sc:
+        out, _ = _solve(sc, table, r=r, strategy=strategy)
+    return out
+
+
+def test_gang_dispatch_spreads_the_wave():
+    """A gang wave lands on more than one worker (the non-gang batch
+    mode deliberately fuses a stage's calls onto a single worker)."""
+    table = fw_table(24, seed=1)
+    with SparkleContext(
+        2, 2, backend="processes", dispatch="batch", gang_stages=True
+    ) as sc:
+        out, _ = _solve(sc, table)
+        summ = sc.metrics.dispatch_summary()
+    assert np.array_equal(out, _baseline(table))
+    assert summ["gang_dispatches"] >= 1
+    assert summ["gang_retries"] == 0
+
+
+@pytest.mark.timeout(300)
+def test_gang_survives_seeded_sigkill_all_or_nothing():
+    """SIGKILL a gang member mid-wave: the whole wave retries (metered
+    as ``gang_retries``), the result is bit-identical, and nothing —
+    no worker process, no shm segment — outlives the context."""
+    table = fw_table(24, seed=3)
+    baseline = _baseline(table)
+    plan = FaultPlan.from_string("seed=7,worker_kill=0.25")
+    with SparkleContext(
+        2,
+        2,
+        backend="processes",
+        dispatch="batch",
+        gang_stages=True,
+        fault_plan=plan,
+        heartbeat_interval=0.1,
+    ) as sc:
+        out, _ = _solve(sc, table)
+        m = sc.metrics
+        summ = m.dispatch_summary()
+        sup = m.supervision_summary()
+        prefix = sc._executors.backend.arena.prefix
+    assert out.tobytes() == baseline.tobytes()
+    assert plan.fired()["worker_kill"] >= 1
+    assert sup["worker_crashes"] >= 1
+    assert sup["workers_respawned"] >= 1
+    assert summ["gang_retries"] >= 1
+    assert sup["poison_tasks"] == 0  # retries land on attempt 1, clean
+    # all-or-nothing left nothing behind
+    assert glob.glob(f"/dev/shm/{prefix}*") == []
+    assert m.shm_segments_freed == m.shm_segments_created
+    assert _leaked_children() == []
+
+
+@pytest.mark.timeout(300)
+def test_gang_survives_hung_member():
+    """SIGSTOP a gang member: the watchdog SIGKILLs it, the wave
+    retries whole, and the solve completes bit-identical."""
+    table = fw_table(16, seed=5)
+    baseline = _baseline(table)
+    plan = FaultPlan.from_string("seed=13,worker_hang=0.3")
+    with SparkleContext(
+        2,
+        2,
+        backend="processes",
+        dispatch="batch",
+        gang_stages=True,
+        fault_plan=plan,
+        heartbeat_interval=0.1,
+    ) as sc:
+        out, _ = _solve(sc, table)
+        m = sc.metrics
+        sup = m.supervision_summary()
+        prefix = sc._executors.backend.arena.prefix
+    assert out.tobytes() == baseline.tobytes()
+    assert plan.fired()["worker_hang"] >= 1
+    assert sup["heartbeats_missed"] >= 1
+    assert sup["worker_crashes"] >= 1
+    assert glob.glob(f"/dev/shm/{prefix}*") == []
+    assert m.shm_segments_freed == m.shm_segments_created
+    assert _leaked_children() == []
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("strategy", ["im", "cb", "bcast"])
+def test_gang_matches_every_strategy_under_chaos(strategy):
+    """The all-or-nothing contract holds across distribution
+    strategies, with driver-side chaos (task kills) layered on top of
+    the gang machinery."""
+    table = fw_table(18, seed=11)
+    baseline = _baseline(table, r=3, strategy=strategy)
+    plan = FaultPlan.from_string("seed=23,kill=0.1,worker_kill=0.15")
+    with SparkleContext(
+        2,
+        2,
+        backend="processes",
+        dispatch="batch",
+        gang_stages=True,
+        fault_plan=plan,
+        heartbeat_interval=0.1,
+    ) as sc:
+        out, _ = _solve(sc, table, r=3, strategy=strategy)
+        prefix = sc._executors.backend.arena.prefix
+    assert out.tobytes() == baseline.tobytes()
+    assert glob.glob(f"/dev/shm/{prefix}*") == []
+    assert _leaked_children() == []
