@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test tier1 robustness supervision batching perf smoke bench bench-gate
+.PHONY: test tier1 robustness supervision batching service perf smoke bench bench-gate
 
 # full suite
 test:
@@ -12,9 +12,10 @@ tier1:
 	$(PYTEST) -x -q
 
 # seeded fault-injection + durability/crash-resume + memory-governor +
-# worker-supervision suites
+# worker-supervision + request-plane suites (includes the seeded
+# request-storm chaos soak from tests/test_service.py)
 robustness:
-	$(PYTEST) -q -m "chaos or durability or memory or supervision"
+	$(PYTEST) -q -m "chaos or durability or memory or supervision or service"
 
 # worker supervision only: heartbeats, deadlines, crash/respawn, quarantine
 supervision:
@@ -25,13 +26,19 @@ supervision:
 batching:
 	$(PYTEST) -q -m batching
 
+# solver-as-a-service request plane: admission control, single-flight
+# dedup + result cache, deadlines, circuit breaker, request storms
+service:
+	$(PYTEST) -q -m service
+
 # performance-claim gates (multicore wall-clock assertions; they
 # self-skip on hosts with < 4 cores, so this is always safe to run)
 perf:
 	$(PYTEST) -q -m perf
 
-# robustness gate: tier-1, then chaos/durability/memory, then perf gates
-smoke: tier1 robustness batching perf
+# robustness gate: tier-1, then chaos/durability/memory/service, then
+# perf gates
+smoke: tier1 robustness batching service perf
 
 # tier-2 dispatch bench gate: fail unless batched dispatch cuts IPC
 # round-trips >= 10x without a wall-clock regression (the wall claim

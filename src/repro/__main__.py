@@ -407,6 +407,84 @@ def _cmd_workers(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, SolverService, serve_forever
+    from repro.sparkle import SparkleContext
+
+    sc = SparkleContext(
+        num_executors=args.executors,
+        cores_per_executor=args.cores,
+        backend=args.backend,
+        memory_budget_bytes=args.memory_budget,
+    )
+    config = ServiceConfig(
+        max_queue_depth=args.max_queue_depth,
+        cache_entries=args.cache_entries,
+        retries=args.retries,
+        default_deadline=args.default_deadline,
+    )
+    service = SolverService(sc, config=config)
+    print(f"serving solves on {args.socket} "
+          f"(backend={args.backend}, executors={args.executors}, "
+          f"queue<= {config.max_queue_depth}, cache {config.cache_entries} entries)")
+    print("stop with Ctrl-C; query with: python -m repro request --socket "
+          f"{args.socket} <problem> --n <N>")
+    try:
+        serve_forever(service, args.socket, max_requests=args.max_requests)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+        sc.stop()
+        summary = service.metrics.summary()
+        print("service counters:")
+        for key, value in sorted(summary.items()):
+            print(f"  {key:28s} {value}")
+    return 0
+
+
+def _cmd_request(args) -> int:
+    from repro.service import send_request
+
+    payload = {
+        "problem": args.problem,
+        "n": args.n,
+        "seed": args.seed,
+        "density": args.density,
+        "r": args.r,
+        "strategy": args.strategy,
+        "deadline": args.deadline,
+        "timeout": args.timeout,
+        "return_result": bool(args.output),
+    }
+    if args.stats:
+        payload = {"op": "stats"}
+    reply = send_request(args.socket, payload, timeout=args.timeout)
+    if reply.get("status") != "ok":
+        exc = reply.get("error")
+        retryable = "retryable" if reply.get("retryable") else "not retryable"
+        print(f"error ({type(exc).__name__}, {retryable}): {exc}",
+              file=sys.stderr)
+        return 1
+    if args.stats:
+        for key, value in sorted(reply.items()):
+            if key != "status":
+                print(f"{key:28s} {value}")
+        return 0
+    if args.output:
+        np.save(args.output, reply.pop("result"))
+        print(f"result written to {args.output}")
+    provenance = []
+    if reply.get("from_cache"):
+        provenance.append("cache hit")
+    if reply.get("coalesced"):
+        provenance.append("coalesced")
+    print(f"ok fingerprint={reply['fingerprint']} "
+          f"wall={reply['wall_seconds']:.3f}s"
+          + (f" ({', '.join(provenance)})" if provenance else ""))
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from repro.cluster import haswell16, laptop, skylake16
     from repro.core import tune
@@ -573,6 +651,62 @@ def main(argv: list[str] | None = None) -> int:
         help="print worker-supervision counters from a solve report")
     workers.add_argument("report", help="JSON file from 'solve --report'")
     workers.set_defaults(func=_cmd_workers)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the solver as a long-lived service on a Unix socket")
+    serve.add_argument("--socket", default="/tmp/repro-solver.sock",
+                       help="Unix socket path to listen on")
+    serve.add_argument("--executors", type=int, default=4)
+    serve.add_argument("--cores", type=int, default=2)
+    serve.add_argument("--backend", choices=("threads", "processes"),
+                       default="threads")
+    serve.add_argument("--memory-budget", dest="memory_budget", type=int,
+                       default=None, metavar="BYTES",
+                       help="unified engine memory budget; also gates "
+                            "request admission (critical pressure sheds)")
+    serve.add_argument("--max-queue-depth", dest="max_queue_depth", type=int,
+                       default=16,
+                       help="bounded request queue; overflow is shed with a "
+                            "typed, retryable ServiceOverloadedError")
+    serve.add_argument("--cache-entries", dest="cache_entries", type=int,
+                       default=32,
+                       help="LRU result-cache capacity (checksummed; bytes "
+                            "charged to the storage pool)")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="engine passes retried per request after a "
+                            "transient fault")
+    serve.add_argument("--default-deadline", dest="default_deadline",
+                       type=float, default=None, metavar="SECONDS",
+                       help="deadline applied to requests that carry none")
+    serve.add_argument("--max-requests", dest="max_requests", type=int,
+                       default=None,
+                       help="exit after N requests (tests/demos)")
+    serve.set_defaults(func=_cmd_serve)
+
+    request = sub.add_parser(
+        "request", help="send one solve request to a running 'serve'")
+    request.add_argument("problem", choices=("apsp", "ge", "tc"), nargs="?",
+                         default="apsp")
+    request.add_argument("--socket", default="/tmp/repro-solver.sock")
+    request.add_argument("--n", type=int, default=128)
+    request.add_argument("--density", type=float, default=0.3)
+    request.add_argument("--seed", type=int, default=0)
+    request.add_argument("--r", type=int, default=4)
+    request.add_argument("--strategy", choices=("im", "cb", "bcast"),
+                         default="im")
+    request.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock budget; overruns cancel the solve "
+                              "with RequestDeadlineExceeded")
+    request.add_argument("--timeout", type=float, default=120.0,
+                         help="client-side socket timeout")
+    request.add_argument("--output", default=None,
+                         help="fetch the result matrix and save as .npy")
+    request.add_argument("--stats", action="store_true",
+                         help="print the service's request-plane counters "
+                              "instead of solving")
+    request.set_defaults(func=_cmd_request)
 
     tune_p = sub.add_parser("tune", help="analytical configuration advice")
     tune_p.add_argument("problem", choices=("apsp", "ge", "tc"))

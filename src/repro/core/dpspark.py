@@ -49,7 +49,6 @@ that down.
 
 from __future__ import annotations
 
-import hashlib
 import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -70,6 +69,7 @@ from ..sparkle.errors import (
 )
 from ..sparkle.metrics import EngineMetrics
 from ..sparkle.rdd import CheckpointedRDD
+from ..sparkle.requests import solve_fingerprint
 from .blocked import b_range, c_range, grid_bounds
 from .gep import GepSpec
 
@@ -305,6 +305,17 @@ class GepSparkSolver:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def disable_offload(self) -> None:
+        """Run every kernel tile update on the driver's thread path.
+
+        The same switch the poison-quarantine degrade path throws, made
+        public for the solver service's circuit breaker: with the
+        breaker open, new engine passes skip the process boundary
+        entirely (bit-identical math, nothing left to crash) until the
+        breaker half-opens and lets a probe pass offload again.
+        """
+        self._offload_disabled = True
+
     def solve(self, table: np.ndarray) -> tuple[np.ndarray, SolveReport]:
         """Run the full GEP on ``table``; returns (result, report)."""
         import time
@@ -483,25 +494,21 @@ class GepSparkSolver:
     def _fingerprint(self, table: np.ndarray, n: int, nt: int) -> str:
         """Config/input identity a journal must match to be resumable.
 
-        Covers everything that influences the numeric result: problem
-        spec and dtype, grid shape, strategy, kernel configuration, and
-        the exact input bytes (which also captures any generator seed).
-        Scheduling knobs (partitioner, executor counts, chaos plans)
-        deliberately stay out — they alter traces, never results.
+        Delegates to :func:`repro.sparkle.requests.solve_fingerprint` so
+        the resume journal, the service's single-flight dedup table, and
+        the result cache all key on the *same* digest — see that module
+        for what is (and is deliberately not) covered.
         """
-        h = hashlib.blake2b(digest_size=16)
-        config = (
+        return solve_fingerprint(
             self.spec.name,
-            str(np.dtype(self.spec.dtype)),
+            self.spec.dtype,
             n,
             self.r,
             nt,
             self.strategy,
-            sorted(self.kernel.describe().items()),
+            self.kernel.describe(),
+            table,
         )
-        h.update(repr(config).encode())
-        h.update(np.ascontiguousarray(table).tobytes())
-        return h.hexdigest()
 
     def _journal_iteration(self, journal, store, dp, k: int, nt: int):
         """WAL commit of completed iteration ``k``.

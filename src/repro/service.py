@@ -1,0 +1,1050 @@
+"""Solver-as-a-service: a hardened request plane over one SparkleContext.
+
+:class:`SolverService` turns the batch GEP solver into a long-lived
+service (DESIGN.md §15).  Concurrent clients call :meth:`SolverService.solve`
+(or :meth:`~SolverService.submit` for a ticket); every request passes
+through four defensive layers before an engine pass runs:
+
+1. **Admission control** — a bounded request queue gated by
+   :class:`~repro.sparkle.memory.MemoryManager` pressure.  ``critical``
+   pressure sheds new work outright; ``pressured`` halves the queue
+   bound; overflow raises a typed, retryable
+   :class:`~repro.sparkle.errors.ServiceOverloadedError` instead of
+   letting latency grow without bound.
+2. **Single-flight dedup** — requests with the same solve fingerprint
+   (:meth:`~repro.sparkle.requests.SolveRequest.fingerprint`, the same
+   identity the resume journal uses) coalesce onto one engine pass, and
+   completed results land in a checksummed LRU cache charged to the
+   storage pool (squeezes evict it before it can go stale).
+3. **Deadlines** — a per-request wall-clock budget covers queueing and
+   the pass itself.  Mid-flight it propagates into the scheduler's
+   stage/attempt boundaries (``set_job_deadline``) and the supervisor's
+   per-kernel-call deadline, so an overrun SIGKILLs stuck workers and
+   reaps their segments via the PR 5 crash protocol rather than leaking.
+4. **Retry + circuit breaker** — transient engine faults are retried
+   with bounded backoff; repeated :class:`~repro.sparkle.errors.WorkerCrashed`
+   / :class:`~repro.sparkle.errors.PoisonTaskError` under the process
+   backend trips a breaker that fails the data plane over to in-process
+   threads (``disable_offload`` + the supervisor degrade latch), then
+   half-opens a probe after a cooldown.
+
+Engine passes are **serialized** through one dispatcher thread:
+concurrent passes over a shared context would interleave stage ids,
+affinity resets, and metrics.  Concurrency lives entirely in the
+request plane — which is exactly what the single-flight/caching layers
+exploit.  Between passes :meth:`SparkleContext.reclaim_solve_state`
+drops shuffle outputs, cached blocks, and shared-storage tiles so a
+long-lived service does not accrete per-solve state.
+
+The module also ships :func:`run_request_storm` (the seeded chaos
+driver for ``request_storm`` fault plans) and a minimal Unix-socket
+server/client pair backing ``repro serve`` / ``repro request``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from .sparkle.errors import (
+    BlockNotFoundError,
+    CircuitOpenError,
+    ExecutorLost,
+    JobAborted,
+    PoisonTaskError,
+    RequestDeadlineExceeded,
+    ServiceOverloadedError,
+    ShuffleFetchFailed,
+    SparkleError,
+    StorageCapacityError,
+    TaskDeadlineExceeded,
+    TaskKilled,
+    TransientIOError,
+    WorkerCrashed,
+)
+from .sparkle.memory import PRESSURE_CRITICAL, PRESSURE_OK
+from .sparkle.metrics import ServiceMetrics
+from .sparkle.requests import SolveRequest, SolveResponse
+
+__all__ = [
+    "ServiceConfig",
+    "SolveTicket",
+    "ResultCache",
+    "CircuitBreaker",
+    "SolverService",
+    "run_request_storm",
+    "serve_forever",
+    "send_request",
+    "is_retryable",
+]
+
+#: Engine faults worth a service-level retry: the solve may succeed on a
+#: fresh pass (respawned workers, recomputed lineage, relaxed pressure).
+#: ``RequestDeadlineExceeded`` is deliberately absent — the budget is
+#: spent, retrying cannot help.
+SERVICE_RETRYABLE = (
+    WorkerCrashed,
+    PoisonTaskError,
+    TaskDeadlineExceeded,
+    TaskKilled,
+    ExecutorLost,
+    TransientIOError,
+    ShuffleFetchFailed,
+    BlockNotFoundError,
+    StorageCapacityError,
+    JobAborted,
+)
+
+#: Faults that indict the *process backend* specifically and count
+#: toward tripping the circuit breaker.
+_BREAKER_FAULTS = (WorkerCrashed, PoisonTaskError)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Should a client resubmit after this failure?
+
+    Overload sheds and open-circuit rejections are retryable by
+    definition (they carry ``retry_after`` hints); engine faults follow
+    :data:`SERVICE_RETRYABLE`.  Deadline overruns are not retryable —
+    the same budget will be exceeded again.
+    """
+    if isinstance(exc, (ServiceOverloadedError, CircuitOpenError)):
+        return True
+    if isinstance(exc, RequestDeadlineExceeded):
+        return False
+    return isinstance(exc, SERVICE_RETRYABLE)
+
+
+def _breaker_fault(exc: BaseException) -> bool:
+    """Does this failure count against the process backend's breaker?
+
+    The scheduler wraps exhausted retries as ``JobAborted(...) from
+    last_exc``, so the real fault rides in ``__cause__``.
+    """
+    if isinstance(exc, _BREAKER_FAULTS):
+        return True
+    if isinstance(exc, JobAborted) and exc.__cause__ is not None:
+        return isinstance(exc.__cause__, _BREAKER_FAULTS)
+    return False
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for the request plane.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Flights (deduplicated solves) allowed to wait behind the
+        dispatcher under ``ok`` pressure; halved (floor 1) under
+        ``pressured``, zero effective admission under ``critical``.
+    cache_entries:
+        LRU result-cache capacity in entries; bytes are additionally
+        bounded by the storage pool (reservations fail → evict).
+    retries:
+        Engine passes retried per flight after a retryable fault.
+    retry_backoff_base / retry_backoff_cap:
+        Bounded exponential backoff between passes:
+        ``min(base · 2^(attempt-1), cap)`` seconds.
+    breaker_threshold:
+        Consecutive breaker-countable faults (worker crashes / poison
+        quarantines) before the circuit opens and passes fail over to
+        the thread path.
+    breaker_cooldown:
+        Seconds an open circuit waits before half-opening one probe
+        pass back onto the process backend.
+    shed_retry_after:
+        ``retry_after`` hint attached to overload sheds, seconds.
+    default_deadline:
+        Applied to requests that carry none (``None`` = unlimited).
+    """
+
+    max_queue_depth: int = 16
+    cache_entries: int = 32
+    retries: int = 2
+    retry_backoff_base: float = 0.02
+    retry_backoff_cap: float = 0.25
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 2.0
+    shed_retry_after: float = 0.25
+    default_deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.cache_entries < 0:
+            raise ValueError("cache_entries must be >= 0")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+
+
+class SolveTicket:
+    """A claim on one admitted request; ``result()`` blocks for it.
+
+    Tickets settle exactly once (completed / failed / deadline), no
+    matter how many parties race — the flight finishing, the waiter's
+    own deadline firing, service shutdown — so per-request metrics are
+    counted exactly once too.
+    """
+
+    def __init__(
+        self,
+        service: "SolverService",
+        request: SolveRequest,
+        fingerprint: str,
+        deadline_at: float | None,
+    ) -> None:
+        self._service = service
+        self.request = request
+        self.fingerprint = fingerprint
+        #: absolute ``time.monotonic()`` deadline (None = unbounded)
+        self.deadline_at = deadline_at
+        self.coalesced = False
+        self.from_cache = False
+        self._t0 = time.monotonic()
+        self._event = threading.Event()
+        self._settle_lock = threading.Lock()
+        self._outcome: str | None = None
+        self._response: SolveResponse | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def outcome(self) -> str | None:
+        """Terminal state label once settled (DESIGN.md §15)."""
+        return self._outcome
+
+    def _settle(self, outcome: str) -> bool:
+        """Claim the terminal state; True for the first caller only."""
+        with self._settle_lock:
+            if self._outcome is not None:
+                return False
+            self._outcome = outcome
+            return True
+
+    def _fulfill(self, result: np.ndarray, *, from_cache: bool = False) -> None:
+        if not self._settle("completed"):
+            return
+        self.from_cache = from_cache
+        self._response = SolveResponse(
+            result=result,
+            fingerprint=self.fingerprint,
+            request_id=self.request.request_id,
+            from_cache=from_cache,
+            coalesced=self.coalesced,
+            wall_seconds=time.monotonic() - self._t0,
+        )
+        m = self._service.metrics
+        with self._service._metrics_lock:
+            m.requests_completed += 1
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        deadline = isinstance(exc, RequestDeadlineExceeded)
+        if not self._settle("deadline-cancelled" if deadline else "failed"):
+            return
+        self._error = exc
+        m = self._service.metrics
+        with self._service._metrics_lock:
+            if deadline:
+                m.deadline_cancelled += 1
+            else:
+                m.requests_failed += 1
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> SolveResponse:
+        """Block for the response; raises the typed failure on error.
+
+        A waiter whose own deadline passes while the (possibly
+        coalesced) flight is still running raises
+        :class:`RequestDeadlineExceeded` — other waiters on the same
+        flight with looser deadlines are unaffected.
+        """
+        timeout_at = None if timeout is None else time.monotonic() + timeout
+        while not self._event.is_set():
+            now = time.monotonic()
+            if self.deadline_at is not None and now >= self.deadline_at:
+                self._fail(
+                    RequestDeadlineExceeded(
+                        "request deadline expired while waiting for the flight",
+                        deadline=self.request.deadline,
+                        elapsed=now - self._t0,
+                    )
+                )
+                break
+            if timeout_at is not None and now >= timeout_at:
+                raise TimeoutError(
+                    f"no response within {timeout:.3f}s (request still in flight)"
+                )
+            wake_at = [t for t in (self.deadline_at, timeout_at) if t is not None]
+            self._event.wait(min(wake_at) - now if wake_at else None)
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+
+class _Flight:
+    """One deduplicated engine pass plus everyone waiting on it."""
+
+    __slots__ = ("fingerprint", "waiters", "done")
+
+    def __init__(self, fingerprint: str) -> None:
+        self.fingerprint = fingerprint
+        self.waiters: list[SolveTicket] = []
+        self.done = False
+
+    def deadline_at(self) -> float | None:
+        """The pass runs to the *loosest* waiter's deadline.
+
+        Tighter waiters time out individually in ``result()``; only
+        when every waiter has a deadline may the engine pass itself be
+        cancelled (max of the absolute deadlines).
+        """
+        worst: float | None = None
+        for t in self.waiters:
+            if t.deadline_at is None:
+                return None
+            worst = t.deadline_at if worst is None else max(worst, t.deadline_at)
+        return worst
+
+
+class _CacheEntry:
+    __slots__ = ("array", "checksum", "nbytes")
+
+    def __init__(self, array: np.ndarray, checksum: str) -> None:
+        self.array = array
+        self.checksum = checksum
+        self.nbytes = int(array.nbytes)
+
+
+def _checksum(array: np.ndarray) -> str:
+    return hashlib.blake2b(
+        np.ascontiguousarray(array).tobytes(), digest_size=16
+    ).hexdigest()
+
+
+class ResultCache:
+    """Checksummed LRU of solve results, charged to the storage pool.
+
+    Every hit re-verifies the entry's BLAKE2b checksum — a corrupted or
+    partially-evicted buffer is dropped and treated as a miss rather
+    than served.  Bytes are reserved from the MemoryManager's
+    ``storage`` pool; when a reservation fails the LRU tail is evicted
+    until it fits (or the entry is simply not cached).  A budget
+    squeeze invalidates entries until pressure clears, so the cache
+    never pins memory the engine needs.
+    """
+
+    OWNER = "service-cache"
+
+    def __init__(self, max_entries: int, memory, metrics: ServiceMetrics) -> None:
+        self.max_entries = max_entries
+        self._memory = memory
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def live_bytes(self) -> int:
+        with self._lock:
+            return sum(e.nbytes for e in self._entries.values())
+
+    def get(self, fingerprint: str) -> np.ndarray | None:
+        """A verified copy of the cached result, or None."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self._metrics.cache_misses += 1
+                return None
+            if _checksum(entry.array) != entry.checksum:
+                self._metrics.cache_integrity_failures += 1
+                self._drop_locked(fingerprint)
+                self._metrics.cache_misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self._metrics.cache_hits += 1
+            # Callers get a private copy; the cached buffer never escapes.
+            return entry.array.copy()
+
+    def put(self, fingerprint: str, result: np.ndarray) -> bool:
+        """Cache a fresh result; False if it could not be admitted."""
+        if self.max_entries == 0:
+            return False
+        array = np.ascontiguousarray(result).copy()
+        entry = _CacheEntry(array, _checksum(array))
+        with self._lock:
+            if fingerprint in self._entries:
+                self._entries.move_to_end(fingerprint)
+                return True
+            while len(self._entries) >= self.max_entries:
+                self._evict_lru_locked()
+            while not self._reserve(entry.nbytes):
+                if not self._entries:
+                    return False
+                self._evict_lru_locked()
+            self._entries[fingerprint] = entry
+            return True
+
+    def invalidate(self, fingerprint: str) -> bool:
+        with self._lock:
+            if fingerprint not in self._entries:
+                return False
+            self._drop_locked(fingerprint)
+            self._metrics.cache_invalidations += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            for fp in list(self._entries):
+                self._drop_locked(fp)
+
+    def on_squeeze(self, new_budget: int) -> None:
+        """Squeeze listener: shed entries until pressure clears.
+
+        Runs outside the MemoryManager's lock (see ``squeeze``), so the
+        ``release`` calls inside ``_drop_locked`` cannot deadlock.
+        """
+        with self._lock:
+            while self._entries and self._memory is not None:
+                if self._memory.pressure() == PRESSURE_OK:
+                    break
+                self._drop_locked(next(iter(self._entries)))
+                self._metrics.cache_invalidations += 1
+
+    def _reserve(self, nbytes: int) -> bool:
+        if self._memory is None:
+            return True
+        return self._memory.reserve("storage", self.OWNER, nbytes)
+
+    def _evict_lru_locked(self) -> None:
+        self._drop_locked(next(iter(self._entries)))
+        self._metrics.cache_evictions += 1
+
+    def _drop_locked(self, fingerprint: str) -> None:
+        entry = self._entries.pop(fingerprint)
+        if self._memory is not None:
+            self._memory.release("storage", self.OWNER, entry.nbytes)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over the process backend.
+
+    ``breaker_threshold`` consecutive worker-crash/poison faults open
+    the circuit: subsequent passes run with offload disabled (the
+    thread path — bit-identical, just slower), and the supervisor's
+    degrade latch is forced so the solver's own ``degrade_on_crash``
+    machinery agrees.  After ``cooldown`` seconds one probe pass
+    half-opens back onto processes; success closes the circuit,
+    another fault reopens it.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(self, threshold: int, cooldown: float, metrics: ServiceMetrics) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self.state = self.CLOSED
+        self.failures = 0
+        self._opened_at = 0.0
+
+    def allow_offload(self) -> bool:
+        """May the next pass use the process backend?"""
+        with self._lock:
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.HALF_OPEN:
+                # A probe is already in flight; stay on the safe path.
+                return False
+            if time.monotonic() - self._opened_at >= self.cooldown:
+                self.state = self.HALF_OPEN
+                self._metrics.circuit_half_opens += 1
+                return True
+            return False
+
+    def record_success(self, *, offloaded: bool) -> None:
+        with self._lock:
+            if not offloaded:
+                return
+            if self.state == self.HALF_OPEN:
+                self.state = self.CLOSED
+                self._metrics.circuit_closes += 1
+            self.failures = 0
+
+    def record_failure(self, *, offloaded: bool) -> None:
+        with self._lock:
+            if not offloaded:
+                return
+            self.failures += 1
+            if self.state == self.HALF_OPEN or self.failures >= self.threshold:
+                if self.state != self.OPEN:
+                    self._metrics.circuit_trips += 1
+                self.state = self.OPEN
+                self._opened_at = time.monotonic()
+                self.failures = 0
+
+    def retry_after(self) -> float:
+        with self._lock:
+            if self.state != self.OPEN:
+                return 0.0
+            return max(0.0, self.cooldown - (time.monotonic() - self._opened_at))
+
+
+class SolverService:
+    """Long-lived request plane over one shared :class:`SparkleContext`.
+
+    Thread-safe: any number of client threads may call
+    :meth:`submit`/:meth:`solve` concurrently.  Engine passes run one
+    at a time on the internal dispatcher thread (see module docstring
+    for why), with admission, dedup, caching, deadlines, retry, and the
+    circuit breaker layered in front.
+    """
+
+    def __init__(self, sc, *, config: ServiceConfig | None = None) -> None:
+        self.sc = sc
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self._metrics_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: "deque[_Flight]" = deque()
+        self._inflight: dict[str, _Flight] = {}
+        self._running: _Flight | None = None
+        self._stopped = False
+        self.cache = ResultCache(
+            self.config.cache_entries, sc.memory_manager, self.metrics
+        )
+        if sc.memory_manager is not None:
+            sc.memory_manager.add_squeeze_listener(self.cache.on_squeeze)
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold,
+            self.config.breaker_cooldown,
+            self.metrics,
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="solver-service", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- client surface ------------------------------------------------
+
+    def solve(
+        self, request: SolveRequest, timeout: float | None = None
+    ) -> SolveResponse:
+        """Admit, run (or coalesce/serve from cache), and wait."""
+        return self.submit(request).result(timeout)
+
+    def submit(self, request: SolveRequest) -> SolveTicket:
+        """Admit a request; returns immediately with a ticket.
+
+        Raises :class:`ServiceOverloadedError` when admission control
+        sheds the request (critical memory pressure, or the bounded
+        queue is full).  Cache hits and coalesced requests bypass
+        admission — they cost no engine pass, so shedding them would
+        only waste work already done.
+        """
+        if request.deadline is None and self.config.default_deadline is not None:
+            request = replace(request, deadline=self.config.default_deadline)
+        fingerprint = request.fingerprint()
+        deadline_at = (
+            time.monotonic() + request.deadline
+            if request.deadline is not None
+            else None
+        )
+        cached: np.ndarray | None = None
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("SolverService is stopped")
+            with self._metrics_lock:
+                self.metrics.requests_received += 1
+            cached = self.cache.get(fingerprint)
+            if cached is not None:
+                with self._metrics_lock:
+                    self.metrics.requests_admitted += 1
+                ticket = SolveTicket(self, request, fingerprint, deadline_at)
+                ticket._fulfill(cached, from_cache=True)
+                return ticket
+            flight = self._inflight.get(fingerprint)
+            if flight is not None and not flight.done:
+                with self._metrics_lock:
+                    self.metrics.requests_admitted += 1
+                    self.metrics.single_flight_coalesced += 1
+                ticket = SolveTicket(self, request, fingerprint, deadline_at)
+                ticket.coalesced = True
+                flight.waiters.append(ticket)
+                return ticket
+            self._admit_locked(fingerprint)
+            ticket = SolveTicket(self, request, fingerprint, deadline_at)
+            flight = _Flight(fingerprint)
+            flight.waiters.append(ticket)
+            self._inflight[fingerprint] = flight
+            self._queue.append(flight)
+            self._work.notify_all()
+            return ticket
+
+    def _admit_locked(self, fingerprint: str) -> None:
+        mm = self.sc.memory_manager
+        level = mm.pressure() if mm is not None else PRESSURE_OK
+        depth = len(self._queue) + (1 if self._running is not None else 0)
+        if level == PRESSURE_CRITICAL:
+            with self._metrics_lock:
+                self.metrics.requests_shed += 1
+            raise ServiceOverloadedError(
+                "shedding new work: memory pressure is critical",
+                level=level,
+                queue_depth=depth,
+                retry_after=self.config.shed_retry_after,
+            )
+        limit = self.config.max_queue_depth
+        if level != PRESSURE_OK:
+            limit = max(1, limit // 2)
+        if depth >= limit:
+            with self._metrics_lock:
+                self.metrics.requests_shed += 1
+            raise ServiceOverloadedError(
+                f"request queue full ({depth} >= {limit} under {level} pressure)",
+                level=level,
+                queue_depth=depth,
+                retry_after=self.config.shed_retry_after,
+            )
+        with self._metrics_lock:
+            self.metrics.requests_admitted += 1
+            if depth > 0:
+                self.metrics.requests_queued += 1
+
+    # -- dispatcher ----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopped:
+                    self._work.wait()
+                if not self._queue and self._stopped:
+                    return
+                flight = self._queue.popleft()
+                self._running = flight
+            try:
+                self._run_flight(flight)
+            finally:
+                with self._lock:
+                    self._running = None
+
+    def _run_flight(self, flight: _Flight) -> None:
+        cfg = self.config
+        request = flight.waiters[0].request
+        last_exc: BaseException | None = None
+        for attempt in range(1, cfg.retries + 2):
+            deadline_at = flight.deadline_at()
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                last_exc = RequestDeadlineExceeded(
+                    "request deadline expired before the engine pass could run",
+                    deadline=request.deadline,
+                    elapsed=time.monotonic() - flight.waiters[0]._t0,
+                )
+                break
+            offloaded = (
+                self.sc.backend == "processes" and self.breaker.allow_offload()
+            )
+            try:
+                result = self._run_engine_pass(
+                    request, deadline_at, offload=offloaded
+                )
+            except RequestDeadlineExceeded as exc:
+                last_exc = exc
+                break  # budget spent; retrying cannot help
+            except SERVICE_RETRYABLE as exc:
+                last_exc = exc
+                if _breaker_fault(exc):
+                    self.breaker.record_failure(offloaded=offloaded)
+                if attempt <= cfg.retries:
+                    with self._metrics_lock:
+                        self.metrics.retries += 1
+                    time.sleep(
+                        min(
+                            cfg.retry_backoff_base * (2 ** (attempt - 1)),
+                            cfg.retry_backoff_cap,
+                        )
+                    )
+                continue
+            except BaseException as exc:  # noqa: BLE001 — typed to the client
+                last_exc = exc
+                break
+            else:
+                self.breaker.record_success(offloaded=offloaded)
+                self._finish_flight(flight, result)
+                return
+        assert last_exc is not None
+        self._fail_flight(flight, last_exc)
+
+    def _run_engine_pass(
+        self, request: SolveRequest, deadline_at: float | None, *, offload: bool
+    ) -> np.ndarray:
+        """One solver pass with deadline plumbing and state reclamation.
+
+        The request deadline reaches three layers: the scheduler checks
+        it at stage and attempt boundaries (cheap, cooperative), and —
+        for offloaded passes — the supervisor's per-call deadline is
+        clamped to the remaining budget, so a kernel call stuck in a
+        worker is SIGKILLed and reaped (shm segments included) by the
+        PR 5 crash protocol instead of outliving the request.  Safe to
+        mutate shared context state here because passes are serialized
+        on the dispatcher thread; everything is restored in ``finally``.
+        """
+        sc = self.sc
+        with self._metrics_lock:
+            self.metrics.engine_passes += 1
+            if sc.backend == "processes" and not offload:
+                self.metrics.circuit_failovers += 1
+        saved_task_deadline = sc.supervision.task_deadline
+        sc._scheduler.set_job_deadline(deadline_at)
+        if deadline_at is not None:
+            remaining = max(deadline_at - time.monotonic(), 0.001)
+            sc.supervision.override_task_deadline(
+                remaining
+                if saved_task_deadline is None
+                else min(saved_task_deadline, remaining)
+            )
+        try:
+            return self._solve(request, offload)
+        finally:
+            sc._scheduler.set_job_deadline(None)
+            sc.supervision.override_task_deadline(saved_task_deadline)
+            sc.reclaim_solve_state()
+
+    def _solve(self, request: SolveRequest, offload: bool) -> np.ndarray:
+        """Build a solver on the shared context and run it (test seam)."""
+        from .core.dpspark import GepSparkSolver
+
+        solver = GepSparkSolver(
+            request.spec,
+            self.sc,
+            r=request.r,
+            kernel=request.kernel,
+            strategy=request.strategy,
+            collect_stats=False,
+        )
+        if not offload:
+            solver.disable_offload()
+        result, _report = solver.solve(request.table)
+        return result
+
+    def _finish_flight(self, flight: _Flight, result: np.ndarray) -> None:
+        # Cache before unpublishing the flight: a racing duplicate either
+        # coalesces (pre-removal) or hits the cache (post-removal) — it
+        # never slips between the two into a redundant engine pass.
+        self.cache.put(flight.fingerprint, result)
+        with self._lock:
+            flight.done = True
+            if self._inflight.get(flight.fingerprint) is flight:
+                del self._inflight[flight.fingerprint]
+            waiters = list(flight.waiters)
+        for ticket in waiters:
+            ticket._fulfill(result)
+
+    def _fail_flight(self, flight: _Flight, exc: BaseException) -> None:
+        with self._lock:
+            flight.done = True
+            if self._inflight.get(flight.fingerprint) is flight:
+                del self._inflight[flight.fingerprint]
+            waiters = list(flight.waiters)
+        for ticket in waiters:
+            ticket._fail(exc)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the service; by default drains queued flights first.
+
+        With ``drain=False`` queued flights fail immediately with a
+        retryable :class:`ServiceOverloadedError`.  Always releases the
+        cache's storage-pool reservations and detaches the squeeze
+        listener, so a stopped service leaves the context's memory
+        accounting exactly as it found it.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            if not drain:
+                aborted = list(self._queue)
+                self._queue.clear()
+            else:
+                aborted = []
+            self._work.notify_all()
+        for flight in aborted:
+            self._fail_flight(
+                flight,
+                ServiceOverloadedError(
+                    "service stopped before this request ran",
+                    queue_depth=0,
+                    retry_after=None,
+                ),
+            )
+        self._dispatcher.join(timeout=timeout)
+        if self._dispatcher.is_alive():  # pragma: no cover — deadlock guard
+            raise RuntimeError("service dispatcher failed to stop")
+        if self.sc.memory_manager is not None:
+            self.sc.memory_manager.remove_squeeze_listener(self.cache.on_squeeze)
+        self.cache.clear()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# -- request-storm chaos driver ---------------------------------------
+
+
+def run_request_storm(
+    service: SolverService,
+    make_request: Callable[[int, int], SolveRequest],
+    *,
+    clients: int = 16,
+    requests_per_client: int = 2,
+    plan=None,
+    tight_deadline: float = 0.005,
+    timeout: float = 120.0,
+) -> list[dict[str, Any]]:
+    """Drive ``clients`` concurrent threads through the service.
+
+    ``make_request(client, seq)`` builds each base request; a
+    ``request_storm`` fault plan may twist individual requests into a
+    ``duplicate`` of the client's previous one (exercising
+    single-flight/cache paths) or clamp on a ``tight_deadline``
+    (exercising mid-flight cancellation), both decided by the seeded
+    BLAKE2b contract so storms replay exactly.
+
+    Returns one outcome dict per request: ``{"client", "seq", "twist",
+    "ok", "response" | "error", "retryable"}``.  Raises if any client
+    thread fails to finish within ``timeout`` — the storm's deadlock
+    detector.
+    """
+    outcomes: list[list[dict[str, Any]]] = [[] for _ in range(clients)]
+    barrier = threading.Barrier(clients)
+
+    def client_loop(client: int) -> None:
+        barrier.wait(timeout=timeout)
+        previous: SolveRequest | None = None
+        for seq in range(requests_per_client):
+            twist = plan.request_fault(client, seq) if plan is not None else None
+            request = make_request(client, seq)
+            if twist == "duplicate" and previous is not None:
+                request = previous
+            elif twist == "tight_deadline":
+                request = replace(request, deadline=tight_deadline)
+            previous = request
+            record: dict[str, Any] = {
+                "client": client,
+                "seq": seq,
+                "twist": twist,
+                "fingerprint": request.fingerprint(),
+            }
+            try:
+                record["response"] = service.solve(request, timeout=timeout)
+                record["ok"] = True
+            except BaseException as exc:  # noqa: BLE001 — recorded, asserted on
+                record["ok"] = False
+                record["error"] = exc
+                record["retryable"] = is_retryable(exc)
+            outcomes[client].append(record)
+
+    threads = [
+        threading.Thread(
+            target=client_loop, args=(c,), name=f"storm-client-{c}", daemon=True
+        )
+        for c in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    deadline = time.monotonic() + timeout
+    for t in threads:
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
+    stuck = [t.name for t in threads if t.is_alive()]
+    if stuck:
+        raise TimeoutError(f"request storm deadlocked; stuck clients: {stuck}")
+    return [record for per_client in outcomes for record in per_client]
+
+
+# -- Unix-socket serving (repro serve / repro request) -----------------
+
+_LEN = struct.Struct(">Q")
+
+
+def _send_msg(sock: socket.socket, obj: Any) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed mid-message")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_msg(sock: socket.socket) -> Any:
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _build_request(payload: dict[str, Any]) -> SolveRequest:
+    """Materialize a wire payload into a SolveRequest.
+
+    The wire format names a problem + generator seed rather than
+    shipping the table, so identical payloads hash to identical
+    fingerprints on the server and dedup/caching work across clients.
+    """
+    from .core.gep import (
+        FloydWarshallGep,
+        GaussianEliminationGep,
+        TransitiveClosureGep,
+    )
+    from .core.dpspark import make_kernel
+    from .workloads import diagonally_dominant, random_digraph_weights
+
+    problem = payload["problem"]
+    n = int(payload["n"])
+    seed = int(payload.get("seed", 0))
+    density = float(payload.get("density", 0.35))
+    specs = {
+        "apsp": FloydWarshallGep,
+        "ge": GaussianEliminationGep,
+        "tc": TransitiveClosureGep,
+    }
+    if problem not in specs:
+        raise ValueError(f"unknown problem {problem!r}")
+    spec = specs[problem]()
+    if problem == "ge":
+        table = diagonally_dominant(n, seed=seed)
+    else:
+        weights = random_digraph_weights(n, density, seed=seed)
+        table = np.isfinite(weights) if problem == "tc" else weights
+    table = table.astype(spec.dtype, copy=False)
+    return SolveRequest(
+        spec=spec,
+        table=table,
+        r=int(payload.get("r", 4)),
+        kernel=make_kernel(spec, "iterative"),
+        strategy=payload.get("strategy", "im"),
+        deadline=payload.get("deadline"),
+        client=payload.get("client", "socket"),
+        request_id=payload.get("request_id"),
+    )
+
+
+def serve_forever(
+    service: SolverService,
+    socket_path: str,
+    *,
+    max_requests: int | None = None,
+    ready: threading.Event | None = None,
+) -> int:
+    """Accept loop: one connection = one request = one reply.
+
+    Replies are ``{"status": "ok", ...summary...}`` (plus the result
+    array when the payload asks ``return_result``) or ``{"status":
+    "error", "error": <pickled typed exception>, "retryable": bool}``.
+    ``max_requests`` bounds the loop for tests; returns requests served.
+    """
+    if os.path.exists(socket_path):
+        os.unlink(socket_path)
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    served = 0
+    handlers: list[threading.Thread] = []
+    try:
+        server.bind(socket_path)
+        server.listen(16)
+        if ready is not None:
+            ready.set()
+        while max_requests is None or served < max_requests:
+            conn, _ = server.accept()
+            served += 1
+            t = threading.Thread(
+                target=_handle_conn, args=(service, conn), daemon=True
+            )
+            t.start()
+            handlers.append(t)
+        # A bounded run must serve every accepted request before the
+        # caller tears the service down under the last handler.
+        for t in handlers:
+            t.join()
+        return served
+    finally:
+        server.close()
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+
+
+def _handle_conn(service: SolverService, conn: socket.socket) -> None:
+    with conn:
+        try:
+            payload = _recv_msg(conn)
+            if payload.get("op") == "stats":
+                _send_msg(conn, {"status": "ok", **service.metrics.summary()})
+                return
+            request = _build_request(payload)
+            response = service.solve(request, timeout=payload.get("timeout"))
+            reply: dict[str, Any] = {
+                "status": "ok",
+                "fingerprint": response.fingerprint,
+                "from_cache": response.from_cache,
+                "coalesced": response.coalesced,
+                "wall_seconds": response.wall_seconds,
+                "result_checksum": _checksum(response.result),
+            }
+            if payload.get("return_result"):
+                reply["result"] = response.result
+            _send_msg(conn, reply)
+        except BaseException as exc:  # noqa: BLE001 — shipped to the client
+            try:
+                _send_msg(
+                    conn,
+                    {
+                        "status": "error",
+                        "error": exc,
+                        "retryable": is_retryable(exc),
+                    },
+                )
+            except OSError:
+                pass
+
+
+def send_request(
+    socket_path: str, payload: dict[str, Any], *, timeout: float = 120.0
+) -> dict[str, Any]:
+    """Send one request dict to a running service; returns the reply."""
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(timeout)
+    try:
+        client.connect(socket_path)
+        _send_msg(client, payload)
+        return _recv_msg(client)
+    finally:
+        client.close()

@@ -76,13 +76,16 @@ from .context import SparkleContext
 from .durable import DurableBlockStore, FsckReport, SolveJournal
 from .errors import (
     BlockNotFoundError,
+    CircuitOpenError,
     CorruptBlockError,
     ExecutorLost,
     JobAborted,
     JournalError,
     LastExecutorProtectedWarning,
     PoisonTaskError,
+    RequestDeadlineExceeded,
     ResumeMismatchError,
+    ServiceOverloadedError,
     ShuffleFetchFailed,
     SparkleError,
     StorageCapacityError,
@@ -98,7 +101,14 @@ from .memory import (
     PRESSURE_OK,
     PRESSURE_PRESSURED,
 )
-from .metrics import EngineMetrics, JobTrace, StageRecord, TaskRecord
+from .metrics import (
+    EngineMetrics,
+    JobTrace,
+    ServiceMetrics,
+    StageRecord,
+    TaskRecord,
+)
+from .requests import SolveRequest, SolveResponse, solve_fingerprint
 from .partitioner import GridPartitioner, HashPartitioner, Partitioner, RangePartitioner
 from .rdd import RDD, Aggregator
 from .scheduler import TaskContext
@@ -168,6 +178,13 @@ __all__ = [
     "WorkerCrashed",
     "TaskDeadlineExceeded",
     "PoisonTaskError",
+    "ServiceOverloadedError",
+    "RequestDeadlineExceeded",
+    "CircuitOpenError",
+    "ServiceMetrics",
+    "SolveRequest",
+    "SolveResponse",
+    "solve_fingerprint",
     "SupervisionConfig",
     "WorkerSupervisor",
     "HeartbeatBoard",

@@ -75,10 +75,16 @@ CURRENT_TASK: ContextVar = ContextVar("sparkle_current_task", default=None)
 #:                   SIGKILLs it, converting the hang into a crash
 #: ``worker_oom``    a worker dies as if OOM-killed (SIGKILL, tagged as
 #:                   an out-of-memory loss in the crash ledger)
+#: ``request_storm`` a service-plane client misbehaves: its request
+#:                   arrives with an impossibly tight deadline, or as an
+#:                   exact duplicate of another in-flight request (the
+#:                   single-flight dedup path); decided per
+#:                   ``(client, seq)`` so storms replay bit-identically
 FAULT_KINDS = (
     "kill", "lose", "slow", "storage", "bcast", "overflow",
     "torn_write", "corrupt_block", "mem_squeeze",
     "worker_kill", "worker_hang", "worker_oom",
+    "request_storm",
 )
 
 #: Modest everything-on mix used by ``FaultPlan.default`` / bare
@@ -102,6 +108,9 @@ DEFAULT_RATES = {
     "worker_kill": 0.0,
     "worker_hang": 0.0,
     "worker_oom": 0.0,
+    # Request twists only mean anything to a SolverService driving a
+    # storm; a bare solve has no request plane to twist.
+    "request_storm": 0.0,
 }
 
 DEFAULT_STRAGGLER_DELAY = 0.05
@@ -318,6 +327,26 @@ class FaultPlan:
             )
             return 0.4 + 0.35 * frac
         return 1.0
+
+    def request_fault(self, client: int, seq: int) -> str | None:
+        """Service-plane twist for request ``seq`` of ``client``.
+
+        Returns ``"tight_deadline"`` (the request arrives with a
+        deadline it cannot possibly meet — exercising mid-flight
+        cancellation and cleanup), ``"duplicate"`` (the request repeats
+        the client's previous workload — exercising single-flight dedup
+        and the result cache), or ``None``.  Driver-side and keyed only
+        by ``(client, seq)``, so a seeded request storm replays the same
+        twist schedule regardless of thread interleaving.
+        """
+        site = ("request", client, seq)
+        if self._decide("request_storm", 1, site):
+            self.note("request_storm")
+            frac = deterministic_fraction(
+                self.seed, "request_storm", ("twist", client, seq)
+            )
+            return "tight_deadline" if frac < 0.5 else "duplicate"
+        return None
 
     def durable_fault(self, kind: str, key, attempt: int) -> bool:
         """Durable-store fault (``torn_write``/``corrupt_block``).

@@ -336,6 +336,29 @@ class SparkleContext:
         self.shared_storage.backing = self.durable_store
         return self.durable_store
 
+    def reclaim_solve_state(self, keep_job_traces: int = 64) -> None:
+        """Release per-solve engine state between requests (service use).
+
+        A context that lives across many solves would otherwise accrete
+        staged shuffle outputs, cached blocks, CB shared-storage keys
+        (``("pivot", k)`` / ``("bc", k, key)``), scheduler stage/attempt
+        maps, and unbounded job traces.  Everything here releases through
+        the same paths normal retirement uses (governor bytes, arena
+        refcounts, spill files), so a swept context is byte-identical to
+        a fresh one as far as the accounting ledgers can tell.
+
+        ``keep_job_traces`` bounds the metrics trace ring; aggregate
+        counters on :class:`~repro.sparkle.metrics.EngineMetrics` are
+        untouched (they are cheap and context-lifetime by design).
+        """
+        self._check_active()
+        self._shuffle_manager.clear()
+        self._block_manager.clear()
+        self.shared_storage.clear()
+        self._scheduler.reclaim()
+        if keep_job_traces >= 0 and len(self.metrics.jobs) > keep_job_traces:
+            del self.metrics.jobs[: len(self.metrics.jobs) - keep_job_traces]
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

@@ -29,6 +29,9 @@ __all__ = [
     "WorkerCrashed",
     "TaskDeadlineExceeded",
     "PoisonTaskError",
+    "ServiceOverloadedError",
+    "RequestDeadlineExceeded",
+    "CircuitOpenError",
 ]
 
 
@@ -240,6 +243,87 @@ class PoisonTaskError(SparkleError):
         return (
             type(self),
             (self.args[0], self.coordinate, self.case, self.kernel_id, self.failures),
+        )
+
+
+class ServiceOverloadedError(SparkleError):
+    """The solver service shed a request at admission (overload control).
+
+    Raised *before* any engine work starts: the request queue is full for
+    the current memory-pressure level, or pressure is critical and the
+    service refuses new work outright.  Always retryable by the client —
+    ``retry_after`` is the service's backoff hint in seconds.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        level: str | None = None,
+        queue_depth: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.level = level
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.level, self.queue_depth, self.retry_after),
+        )
+
+
+class RequestDeadlineExceeded(SparkleError):
+    """A service request ran past its per-request deadline.
+
+    Distinct from :class:`TaskDeadlineExceeded` (one offloaded kernel
+    call overran): this is the *request-plane* deadline covering queueing
+    plus the whole engine pass.  The scheduler checks it at stage and
+    attempt boundaries and aborts the solve mid-flight; the service then
+    reclaims all per-solve engine state, so a cancelled request leaks
+    nothing.  Retryable by the client (with a larger deadline).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        deadline: float | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.deadline, self.elapsed))
+
+
+class CircuitOpenError(SparkleError):
+    """The per-backend circuit breaker is open (repeated worker faults).
+
+    Carried on responses so clients can tell "your request failed" apart
+    from "the process backend is sick; requests are being served on the
+    degraded thread path".  ``retry_after`` is the remaining cooldown
+    before the breaker half-opens.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        backend: str | None = None,
+        failures: int = 0,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.failures = failures
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.backend, self.failures, self.retry_after),
         )
 
 

@@ -118,6 +118,7 @@ class MemoryManager:
         self._admitted_tasks = 0
         self._level = PRESSURE_OK
         self._critical_seen = False
+        self._squeeze_listeners: list[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # owner attribution
@@ -293,7 +294,30 @@ class MemoryManager:
                 self._metrics.mem_squeezes += 1
             self._update_level_locked()
             self._cond.notify_all()
-            return self.budget_bytes
+            new_budget = self.budget_bytes
+        # Listeners run OUTSIDE the condition: an evicting listener (the
+        # service result cache) calls back into release(), which takes
+        # the same lock — calling it under the lock would deadlock.
+        for listener in list(self._squeeze_listeners):
+            listener(new_budget)
+        return new_budget
+
+    def add_squeeze_listener(self, fn: Callable[[int], None]) -> None:
+        """Register ``fn(new_budget_bytes)`` to run after every squeeze.
+
+        Used by caches holding budget-charged bytes (the solver
+        service's result cache) to shed entries when the budget shrinks
+        under them, instead of serving from an oversubscribed pool.
+        """
+        with self._cond:
+            self._squeeze_listeners.append(fn)
+
+    def remove_squeeze_listener(self, fn: Callable[[int], None]) -> None:
+        with self._cond:
+            try:
+                self._squeeze_listeners.remove(fn)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------------
     # introspection

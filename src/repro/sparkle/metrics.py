@@ -13,7 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["TaskRecord", "StageRecord", "JobTrace", "EngineMetrics"]
+__all__ = [
+    "TaskRecord",
+    "StageRecord",
+    "JobTrace",
+    "EngineMetrics",
+    "ServiceMetrics",
+]
 
 
 @dataclass
@@ -358,3 +364,79 @@ class EngineMetrics:
         out.update(self.supervision_summary())
         out.update(self.dispatch_summary())
         return out
+
+
+@dataclass
+class ServiceMetrics:
+    """Request-plane counters for one :class:`~repro.service.SolverService`.
+
+    Kept separate from :class:`EngineMetrics` deliberately: one engine
+    context serves many requests, so engine counters are
+    context-lifetime while these are service-lifetime — and the request
+    state machine (DESIGN.md §15) is the thing being metered, not the
+    engine underneath it.
+    """
+
+    # ---- admission -----------------------------------------------------
+    requests_received: int = 0
+    requests_admitted: int = 0
+    #: admitted requests that waited in the bounded queue (depth > 0)
+    requests_queued: int = 0
+    #: requests refused at admission (queue full / critical pressure)
+    requests_shed: int = 0
+    # ---- completion ----------------------------------------------------
+    requests_completed: int = 0
+    #: requests that returned a typed error (excluding sheds)
+    requests_failed: int = 0
+    #: requests cancelled by their per-request deadline
+    deadline_cancelled: int = 0
+    # ---- single-flight / cache -----------------------------------------
+    #: duplicate concurrent requests coalesced onto an in-flight solve
+    single_flight_coalesced: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: entries dropped by LRU capacity pressure
+    cache_evictions: int = 0
+    #: entries dropped because a memory squeeze reclaimed their bytes
+    cache_invalidations: int = 0
+    #: cached payloads that failed their checksum on read (never served)
+    cache_integrity_failures: int = 0
+    # ---- engine passes / retry / breaker --------------------------------
+    #: actual ``GepSparkSolver.solve`` invocations (one per coalesced
+    #: flight attempt; THE single-flight assertion counter)
+    engine_passes: int = 0
+    #: service-level retries of a failed engine pass (with backoff)
+    retries: int = 0
+    circuit_trips: int = 0
+    #: engine passes run with kernel offload forced off by an open breaker
+    circuit_failovers: int = 0
+    circuit_half_opens: int = 0
+    circuit_closes: int = 0
+
+    def summary(self) -> dict[str, Any]:
+        """Flat counter view (the ``repro serve`` / bench surface)."""
+        looked_up = self.cache_hits + self.cache_misses
+        return {
+            "requests_received": self.requests_received,
+            "requests_admitted": self.requests_admitted,
+            "requests_queued": self.requests_queued,
+            "requests_shed": self.requests_shed,
+            "requests_completed": self.requests_completed,
+            "requests_failed": self.requests_failed,
+            "deadline_cancelled": self.deadline_cancelled,
+            "single_flight_coalesced": self.single_flight_coalesced,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": (
+                round(self.cache_hits / looked_up, 6) if looked_up else None
+            ),
+            "cache_evictions": self.cache_evictions,
+            "cache_invalidations": self.cache_invalidations,
+            "cache_integrity_failures": self.cache_integrity_failures,
+            "engine_passes": self.engine_passes,
+            "retries": self.retries,
+            "circuit_trips": self.circuit_trips,
+            "circuit_failovers": self.circuit_failovers,
+            "circuit_half_opens": self.circuit_half_opens,
+            "circuit_closes": self.circuit_closes,
+        }

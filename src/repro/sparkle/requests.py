@@ -1,0 +1,151 @@
+"""Typed request/response plane for the solver service (DESIGN.md §15).
+
+This module is the wire-and-memory contract between clients and
+:class:`~repro.service.SolverService`: a :class:`SolveRequest` names one
+solve (problem spec + kernel + input table + strategy + tiling), a
+:class:`SolveResponse` carries the result plus request-plane provenance
+(cache hit?  coalesced onto another flight?), and the service errors
+re-exported here are the complete set a client must handle.
+
+It also owns :func:`solve_fingerprint` — the config/input identity that
+keys the write-ahead journal (PR 2 resume), the single-flight dedup
+table, and the result cache.  All three MUST agree byte-for-byte, which
+is why the GEP solver's ``_fingerprint`` delegates here instead of
+keeping a private copy: a drift between "same solve for resume" and
+"same solve for caching" would let the cache serve a result the journal
+would refuse to resume.
+
+Import direction: ``repro.core`` imports ``repro.sparkle``, never the
+reverse — so this module holds spec/kernel objects opaquely and never
+touches ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from .errors import (
+    CircuitOpenError,
+    RequestDeadlineExceeded,
+    ServiceOverloadedError,
+)
+
+__all__ = [
+    "SolveRequest",
+    "SolveResponse",
+    "solve_fingerprint",
+    "ServiceOverloadedError",
+    "RequestDeadlineExceeded",
+    "CircuitOpenError",
+]
+
+
+def solve_fingerprint(
+    spec_name: str,
+    dtype: Any,
+    n: int,
+    r: int,
+    nt: int,
+    strategy: str,
+    kernel_describe: Mapping[str, Any],
+    table: np.ndarray,
+) -> str:
+    """Config/input identity of one solve (BLAKE2b-128 hex digest).
+
+    Covers everything that influences the numeric result: problem spec
+    and dtype, grid shape, strategy, kernel configuration, and the exact
+    input bytes (which also captures any generator seed).  Scheduling
+    knobs (partitioner, executor counts, backend, chaos plans)
+    deliberately stay out — they alter traces, never results, so a
+    cached result is valid across all of them.
+
+    The digest layout is frozen: journals written by earlier releases
+    key resume eligibility on it (see ``GepSparkSolver._fingerprint``).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    config = (
+        spec_name,
+        str(np.dtype(dtype)),
+        n,
+        r,
+        nt,
+        strategy,
+        sorted(kernel_describe.items()),
+    )
+    h.update(repr(config).encode())
+    h.update(np.ascontiguousarray(table).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class SolveRequest:
+    """One client request to the solver service.
+
+    ``spec`` and ``kernel`` are held opaquely (any objects providing the
+    ``GepSpec`` / kernel protocol — ``.name``/``.dtype`` and
+    ``.describe()`` respectively); the service passes them straight to
+    :class:`~repro.core.dpspark.GepSparkSolver`.
+    """
+
+    spec: Any
+    table: np.ndarray
+    r: int
+    kernel: Any
+    strategy: str = "im"
+    #: wall-clock budget in seconds covering queueing + the engine pass
+    #: (None = no deadline); overruns cancel mid-flight with
+    #: :class:`RequestDeadlineExceeded`
+    deadline: float | None = None
+    #: client identity for accounting/tracing (free-form)
+    client: str = "anonymous"
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("im", "cb", "bcast"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.r < 1:
+            raise ValueError("r must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds (or None)")
+        if self.table.ndim != 2 or self.table.shape[0] != self.table.shape[1]:
+            raise ValueError("GEP requires a square table")
+
+    def fingerprint(self) -> str:
+        """The dedup/cache/journal identity of this request's solve."""
+        n = self.table.shape[0]
+        # Mirrors core.blocked.grid_bounds (an r-way near-equal split):
+        # nt tiles per side, capped by the extent.
+        nt = min(self.r, n) if n else 1
+        return solve_fingerprint(
+            self.spec.name,
+            self.spec.dtype,
+            n,
+            self.r,
+            nt,
+            self.strategy,
+            self.kernel.describe(),
+            self.table,
+        )
+
+
+@dataclass
+class SolveResponse:
+    """A completed request: the result plus request-plane provenance."""
+
+    result: np.ndarray
+    fingerprint: str
+    request_id: str | None = None
+    #: served from the LRU result cache (no engine pass for this request)
+    from_cache: bool = False
+    #: coalesced onto another request's in-flight engine pass
+    coalesced: bool = False
+    #: request-plane wall-clock (admission to response), seconds
+    wall_seconds: float = 0.0
+    #: terminal state machine label (DESIGN.md §15): ``completed`` here;
+    #: failures travel as typed exceptions, not responses
+    state: str = "completed"
+    extras: dict[str, Any] = field(default_factory=dict)

@@ -42,6 +42,7 @@ from .errors import (
     ExecutorLost,
     JobAborted,
     PoisonTaskError,
+    RequestDeadlineExceeded,
     ShuffleFetchFailed,
     TaskDeadlineExceeded,
     TaskError,
@@ -61,6 +62,9 @@ __all__ = ["DAGScheduler", "TaskContext", "Stage"]
 #: backend *after* it already respawned the pool — the retry runs on
 #: fresh workers.  PoisonTaskError is deliberately absent: a quarantined
 #: task would kill every worker it is retried on.
+#: RequestDeadlineExceeded is also deliberately absent: a request-plane
+#: deadline is a *cancellation*, and retrying a cancelled job would keep
+#: burning engine time past the point anyone wants the answer.
 RETRYABLE = (
     TaskKilled,
     ExecutorLost,
@@ -146,6 +150,36 @@ class DAGScheduler:
         # Reentrant: recomputing a map partition can itself hit a missing
         # grandparent shuffle and recurse into recovery.
         self._recompute_lock = threading.RLock()
+        # Request-plane deadline (monotonic clock, None = no deadline):
+        # checked at stage and attempt boundaries so a cancelled request
+        # stops burning engine time without interrupting a kernel
+        # mid-update (which would forfeit bit-identity guarantees).
+        self._job_deadline: float | None = None
+
+    # ------------------------------------------------------------------
+    # request-plane deadline
+    # ------------------------------------------------------------------
+    def set_job_deadline(self, deadline: float | None) -> None:
+        """Arm (or clear) a driver-side deadline for subsequent jobs.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant.  The
+        solver service arms this with each request's remaining budget;
+        overruns raise :class:`~.errors.RequestDeadlineExceeded`, which
+        is *not* retryable — it propagates straight out of ``run_job``.
+        """
+        self._job_deadline = deadline
+
+    def _check_deadline(self) -> None:
+        deadline = self._job_deadline
+        if deadline is not None:
+            overrun = time.monotonic() - deadline
+            if overrun > 0:
+                raise RequestDeadlineExceeded(
+                    f"request deadline passed {overrun:.3f}s ago; "
+                    "cancelling the solve at a stage/attempt boundary",
+                    deadline=deadline,
+                    elapsed=overrun,
+                )
 
     # ------------------------------------------------------------------
     # stage graph construction
@@ -201,9 +235,11 @@ class DAGScheduler:
                 run_parents(parent)
                 if self._shuffle_materialized(parent):
                     continue  # stage reuse (skip)
+                self._check_deadline()
                 self._run_shuffle_map_stage(parent, trace)
 
         run_parents(result_stage)
+        self._check_deadline()
         return self._run_result_stage(result_stage, func, trace)
 
     # ------------------------------------------------------------------
@@ -362,6 +398,10 @@ class DAGScheduler:
         last_exc: BaseException | None = None
         backoff_total = 0.0
         for local_attempt in range(1, self.max_task_retries + 2):
+            # Raised outside the try below, so it bypasses the RETRYABLE
+            # classification entirely: a deadline overrun mid-retry-storm
+            # cuts the storm instead of riding it to JobAborted.
+            self._check_deadline()
             attempt = self._next_attempt(stage.id, partition)
             if local_attempt > 1:
                 pause = self.backoff_delay(stage.id, partition, attempt)
@@ -546,6 +586,20 @@ class DAGScheduler:
                     stage, mp, lambda tc, _mp=mp: self._shuffle_map_task(dep, _mp, tc)
                 )
                 self.ctx.metrics.partitions_recomputed += 1
+
+    def reclaim(self) -> None:
+        """Forget per-solve stage state (the service's between-requests
+        sweep).
+
+        A long-lived context accretes one :class:`Stage` per shuffle
+        dependency and one attempt counter per (stage, partition) for
+        every solve it runs; after the solve's RDDs are dead this is
+        pure leak.  Executor fault counts survive on purpose — backend
+        health is context-lifetime knowledge, not per-solve.
+        """
+        self._shuffle_stages.clear()
+        with self._attempt_lock:
+            self._attempt_counts.clear()
 
     def _count_executor_fault(self, executor: int) -> None:
         """Per-executor failure accounting; blacklist past the threshold."""

@@ -320,6 +320,23 @@ class ShuffleManager:
             self._bytes_by_shuffle.pop(shuffle_id, None)
             return freed
 
+    def clear(self) -> int:
+        """Drop every staged output of every shuffle; returns bytes freed.
+
+        Between-requests sweep for a long-lived context: once a solve's
+        final collect has run, its staged map outputs can never be
+        fetched again (the consuming RDDs are dead), but stage-reuse
+        bookkeeping would hold their bytes — and their governor
+        reservations — forever.
+        """
+        with self._lock:
+            freed = 0
+            for key in list(set(self._outputs) | self._spilled):
+                freed += self._output_bytes.get(key, 0)
+                self._discard_locked(key)
+            self._bytes_by_shuffle.clear()
+            return freed
+
     def drop_executor_outputs(
         self, owns_map_partition: Callable[[int], bool]
     ) -> list[tuple[int, int]]:

@@ -219,6 +219,26 @@ class BlockManager:
             for key in dead:
                 self.spill.delete(self._spill_key(key))
 
+    def clear(self) -> int:
+        """Drop every cached block and spill file; returns bytes freed.
+
+        The solver service's between-requests sweep: cached partitions
+        belong to the previous solve's (now dead) RDDs, so on a
+        long-lived context they are a leak, not a cache.  Governor
+        reservations and arena refcounts release through the same
+        :meth:`_drop_locked` path as normal eviction.
+        """
+        with self._lock:
+            freed = self._live_bytes
+            for key in list(self._blocks):
+                self._drop_locked(key)
+            dead = list(self._spilled)
+            self._spilled.clear()
+        if self.spill is not None:
+            for key in dead:
+                self.spill.delete(self._spill_key(key))
+        return freed
+
     @property
     def live_bytes(self) -> int:
         with self._lock:

@@ -123,6 +123,20 @@ class SupervisionConfig:
     def heartbeats_enabled(self) -> bool:
         return bool(self.heartbeat_interval)
 
+    def override_task_deadline(self, deadline: float | None) -> None:
+        """Driver-side escape hatch through the frozen config.
+
+        The process backend reads ``task_deadline`` at dispatch/await
+        time, so re-pointing it here retargets every kernel call issued
+        afterwards.  Used by the solver service to clamp each serialized
+        engine pass to its request's remaining wall-clock budget (and to
+        restore the configured value after) — callers must serialize
+        passes themselves; this is a plain unsynchronized write.
+        """
+        if deadline is not None and deadline <= 0:
+            raise ValueError("task_deadline must be > 0 (None disables)")
+        object.__setattr__(self, "task_deadline", deadline)
+
     @property
     def miss_after(self) -> float:
         """Silence that flags a worker as hung (the ISSUE's 2× bound)."""
@@ -433,6 +447,18 @@ class WorkerSupervisor:
         with self._ledger_lock:
             pending, self._degrade_latch = self._degrade_latch, False
             return pending
+
+    def force_degrade(self) -> None:
+        """Arm the degrade latch from outside the crash protocol.
+
+        The solver service's circuit breaker calls this when repeated
+        worker faults trip it: any in-flight ``--degrade-on-crash``
+        solve then falls off the process backend at its next
+        outer-iteration boundary, exactly as if a poison quarantine had
+        fired — one latch, one degrade path.
+        """
+        with self._ledger_lock:
+            self._degrade_latch = True
 
     # -- respawn backoff ----------------------------------------------
     def respawn_delay(self, respawn_index: int) -> float:

@@ -12,7 +12,10 @@ claim needs real parallelism and skips on single-core hosts (the
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -88,10 +91,40 @@ def test_gate_round_trip_reduction():
     )
 
 
-def test_gate_no_wall_clock_regression(multi_worker):
+def _record_wall_gate(status: str) -> None:
+    """Write the wall-clock gate outcome into ``BENCH_engine.json``.
+
+    A skip on an undersized host must be an explicit, auditable record
+    (``derived.wall_clock_gate = "SKIPPED: ..."``) rather than silence —
+    otherwise a 1-core CI container looks identical to a passing gate.
+    Merges into an existing bench report when one is present; creates a
+    minimal stub otherwise.
+    """
+    path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    try:
+        report = json.loads(path.read_text()) if path.exists() else {}
+    except (OSError, json.JSONDecodeError):
+        report = {}
+    report.setdefault("derived", {})["wall_clock_gate"] = status
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def test_gate_no_wall_clock_regression():
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        reason = (
+            f"SKIPPED: <2 cores (host has {cores}; the wall-clock claim "
+            "needs real hardware parallelism)"
+        )
+        _record_wall_gate(reason)
+        pytest.skip(reason)
     res = _measure()
     tile_wall, batch_wall = res["tile"]["wall"], res["batch"]["wall"]
     assert batch_wall <= tile_wall * MAX_WALL_REGRESSION, (
         f"batched dispatch regressed wall-clock: {batch_wall:.2f}s vs "
         f"{tile_wall:.2f}s per-tile (limit {MAX_WALL_REGRESSION:.0%})"
+    )
+    _record_wall_gate(
+        f"PASS: batch {batch_wall:.2f}s vs tile {tile_wall:.2f}s "
+        f"(limit {MAX_WALL_REGRESSION:.0%}, {cores} cores)"
     )
