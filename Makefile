@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test tier1 robustness supervision batching service perf smoke bench bench-gate
+.PHONY: test tier1 robustness supervision batching service soak perf smoke bench bench-gate
 
 # full suite
 test:
@@ -13,9 +13,10 @@ tier1:
 
 # seeded fault-injection + durability/crash-resume + memory-governor +
 # worker-supervision + request-plane suites (includes the seeded
-# request-storm chaos soak from tests/test_service.py)
+# request-storm chaos soak from tests/test_service.py and the
+# SIGKILL/--resume crash-restart soak from tests/test_service_resume.py)
 robustness:
-	$(PYTEST) -q -m "chaos or durability or memory or supervision or service"
+	$(PYTEST) -q -m "chaos or durability or memory or supervision or service or resilience"
 
 # worker supervision only: heartbeats, deadlines, crash/respawn, quarantine
 supervision:
@@ -30,6 +31,12 @@ batching:
 # dedup + result cache, deadlines, circuit breaker, request storms
 service:
 	$(PYTEST) -q -m service
+
+# crash-restart soak: SIGKILL a live `repro serve` mid-storm, restart
+# with --resume, assert every acked request settled exactly once with
+# bit-identical results and nothing leaked
+soak:
+	$(PYTEST) -q -m resilience
 
 # performance-claim gates (multicore wall-clock assertions; they
 # self-skip on hosts with < 4 cores, so this is always safe to run)

@@ -155,6 +155,68 @@ def run_service_bench(r: int, strategy: str, *, clients: int = 8,
         }
 
 
+def run_resume_bench(r: int, strategy: str, *, requests: int = 8,
+                     n: int = 128):
+    """Recovery-cost probe of the request journal (``serve --resume``).
+
+    Simulates a crashed server: a :class:`RequestJournal` seeded with
+    ``requests`` in-flight wire admissions (two distinct fingerprints,
+    so dedup does its share), then a cold service ``resume()``-ing from
+    it.  The record prices the whole recovery path — WAL replay through
+    normal admission, fingerprint coalescing, engine passes for the
+    deduped work, durable settles — as wall-clock from first replay to
+    last settlement.
+    """
+    import shutil
+    import tempfile
+
+    from repro.service import (
+        RequestJournal,
+        ServiceConfig,
+        SolverService,
+        _build_request,
+    )
+
+    root = tempfile.mkdtemp(prefix="repro-resume-bench-")
+    try:
+        journal = RequestJournal(root)
+        for i in range(requests):
+            payload = {
+                "problem": "apsp",
+                "n": n,
+                "seed": i % 2,
+                "density": 0.3,
+                "r": min(r, n),
+                "strategy": strategy,
+                "client": f"bench-{i}",
+            }
+            fingerprint = _build_request(payload).fingerprint()
+            journal.admit(f"bench-k{i}", fingerprint, payload)
+        with SparkleContext(num_executors=4, cores_per_executor=2) as sc:
+            service = SolverService(
+                sc,
+                config=ServiceConfig(max_queue_depth=max(8, requests)),
+                journal=journal,
+            )
+            t0 = time.perf_counter()
+            tickets = service.resume()
+            for ticket in tickets:
+                ticket.result(600)
+            wall = time.perf_counter() - t0
+            service.stop()
+            summary = service.metrics.summary()
+        return {
+            "replayed_requests": summary["journal_replayed"],
+            "rehydrated_results": summary["results_rehydrated"],
+            "recovery_wall_seconds": round(wall, 4),
+            "engine_passes": summary["engine_passes"],
+            "journal_settles": summary["journal_settles"],
+            "journal_records_compacted": summary["journal_records_compacted"],
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--n", type=int, default=DEFAULT_N, help="table size")
@@ -224,6 +286,13 @@ def main(argv=None) -> int:
           f"coalesced={service_rec['single_flight_coalesced']} "
           f"shed={service_rec['shed_count']}")
 
+    # Hot-restart recovery: journal replay cost after a simulated crash.
+    resume_rec = run_resume_bench(r, args.strategy)
+    print(f"  {'service-resume':15s} "
+          f"replayed={resume_rec['replayed_requests']} "
+          f"recovery={resume_rec['recovery_wall_seconds']}s "
+          f"engine_passes={resume_rec['engine_passes']}")
+
     cpus = os.cpu_count() or 1
     t, p = runs["threads"], runs["processes"]
     b = runs["processes-batch"]
@@ -272,6 +341,7 @@ def main(argv=None) -> int:
             ),
         },
         "service": service_rec,
+        "service_resume": resume_rec,
         "supervision": {
             "heartbeat_interval": 0.25,
             "supervised_wall_seconds": p["wall_seconds"],

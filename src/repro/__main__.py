@@ -408,9 +408,17 @@ def _cmd_workers(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.service import ServiceConfig, SolverService, serve_forever
+    from repro.service import (
+        RequestJournal,
+        ServiceConfig,
+        SolverService,
+        serve_forever,
+    )
     from repro.sparkle import SparkleContext
 
+    if args.resume and not args.journal_dir:
+        print("--resume requires --journal-dir", file=sys.stderr)
+        return 2
     sc = SparkleContext(
         num_executors=args.executors,
         cores_per_executor=args.cores,
@@ -422,14 +430,28 @@ def _cmd_serve(args) -> int:
         cache_entries=args.cache_entries,
         retries=args.retries,
         default_deadline=args.default_deadline,
+        max_frame_bytes=args.max_frame_bytes,
     )
-    service = SolverService(sc, config=config)
+    journal = RequestJournal(args.journal_dir) if args.journal_dir else None
+    service = SolverService(sc, config=config, journal=journal)
+    if args.resume:
+        replayed = service.resume()
+        print(f"resume: rehydrated {service.metrics.results_rehydrated} "
+              f"cached result(s), replaying {len(replayed)} in-flight "
+              f"request(s) from the journal")
     print(f"serving solves on {args.socket} "
           f"(backend={args.backend}, executors={args.executors}, "
-          f"queue<= {config.max_queue_depth}, cache {config.cache_entries} entries)")
-    print("stop with Ctrl-C; query with: python -m repro request --socket "
-          f"{args.socket} <problem> --n <N>")
+          f"queue<= {config.max_queue_depth}, cache {config.cache_entries} entries"
+          + (f", journal {args.journal_dir}" if journal is not None else "")
+          + ")")
+    print("stop with Ctrl-C (drains, checkpoints the journal); query with: "
+          f"python -m repro request --socket {args.socket} <problem> --n <N>")
     try:
+        # serve_forever owns the drain sequence: on SIGTERM/SIGINT it
+        # sheds new admissions, settles in-flight work, checkpoints the
+        # journal, and unlinks the socket — all BEFORE the context
+        # teardown below, so late clients fail fast on a dead address
+        # instead of hanging on a half-dead service.
         serve_forever(service, args.socket, max_requests=args.max_requests)
     except KeyboardInterrupt:
         pass
@@ -437,9 +459,16 @@ def _cmd_serve(args) -> int:
         service.stop()
         sc.stop()
         summary = service.metrics.summary()
+        per_tenant = summary.pop("per_tenant", {})
         print("service counters:")
         for key, value in sorted(summary.items()):
             print(f"  {key:28s} {value}")
+        if per_tenant:
+            print("per-tenant:")
+            for tenant, counters in sorted(per_tenant.items()):
+                print(f"  {tenant:20s} requests={counters['requests']} "
+                      f"sheds={counters['sheds']} "
+                      f"cache_hits={counters['cache_hits']}")
     return 0
 
 
@@ -456,10 +485,14 @@ def _cmd_request(args) -> int:
         "deadline": args.deadline,
         "timeout": args.timeout,
         "return_result": bool(args.output),
+        "tenant": args.tenant,
+        "idempotency_key": args.idempotency_key,
     }
     if args.stats:
         payload = {"op": "stats"}
-    reply = send_request(args.socket, payload, timeout=args.timeout)
+    reply = send_request(
+        args.socket, payload, timeout=args.timeout, retries=args.retries
+    )
     if reply.get("status") != "ok":
         exc = reply.get("error")
         retryable = "retryable" if reply.get("retryable") else "not retryable"
@@ -467,9 +500,14 @@ def _cmd_request(args) -> int:
               file=sys.stderr)
         return 1
     if args.stats:
+        per_tenant = reply.pop("per_tenant", {}) or {}
         for key, value in sorted(reply.items()):
             if key != "status":
                 print(f"{key:28s} {value}")
+        for tenant, counters in sorted(per_tenant.items()):
+            print(f"tenant {tenant:20s} requests={counters['requests']} "
+                  f"sheds={counters['sheds']} "
+                  f"cache_hits={counters['cache_hits']}")
         return 0
     if args.output:
         np.save(args.output, reply.pop("result"))
@@ -679,6 +717,17 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--default-deadline", dest="default_deadline",
                        type=float, default=None, metavar="SECONDS",
                        help="deadline applied to requests that carry none")
+    serve.add_argument("--journal-dir", dest="journal_dir", default=None,
+                       help="directory for the durable request WAL + result "
+                            "spool; enables crash recovery via --resume")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay incomplete journaled requests and "
+                            "rehydrate the result cache before serving "
+                            "(requires --journal-dir)")
+    serve.add_argument("--max-frame-bytes", dest="max_frame_bytes", type=int,
+                       default=256 * 1024 * 1024,
+                       help="refuse socket frames announcing more than this "
+                            "many bytes (allocation-bomb guard)")
     serve.add_argument("--max-requests", dest="max_requests", type=int,
                        default=None,
                        help="exit after N requests (tests/demos)")
@@ -703,6 +752,18 @@ def main(argv: list[str] | None = None) -> int:
                          help="client-side socket timeout")
     request.add_argument("--output", default=None,
                          help="fetch the result matrix and save as .npy")
+    request.add_argument("--tenant", default=None,
+                         help="accounting principal; metered per-tenant in "
+                              "the service's --stats breakdown")
+    request.add_argument("--idempotency-key", dest="idempotency_key",
+                         default=None,
+                         help="stable key for this submission; resending it "
+                              "(e.g. after a server crash) returns the "
+                              "original result instead of re-running")
+    request.add_argument("--retries", type=int, default=0,
+                         help="reconnect attempts on transport failure "
+                              "(jittered backoff; auto-generates and reuses "
+                              "an idempotency key)")
     request.add_argument("--stats", action="store_true",
                          help="print the service's request-plane counters "
                               "instead of solving")

@@ -36,33 +36,58 @@ exploit.  Between passes :meth:`SparkleContext.reclaim_solve_state`
 drops shuffle outputs, cached blocks, and shared-storage tiles so a
 long-lived service does not accrete per-solve state.
 
+The request plane itself is crash-proof (DESIGN.md §16): a
+:class:`RequestJournal` fsync-appends every admission to a checksummed
+WAL (keyed by client idempotency keys) and every settlement after it,
+spooling completed results to a durable store — so ``repro serve
+--resume`` replays exactly the in-flight set after a driver kill,
+re-clamps deadlines to their remaining budget, rehydrates the result
+cache, and serves reconnecting clients their original results without
+re-running the engine.  SIGTERM/SIGINT trigger a graceful drain
+(admission sheds with typed :class:`~repro.sparkle.errors.
+ServiceDrainingError`, in-flight work settles, the journal is
+checkpointed, the socket unlinked last), and :func:`send_request`
+reconnects with jittered backoff reusing its idempotency key, so a
+mid-response driver loss resolves to the same bytes after restart.
+
 The module also ships :func:`run_request_storm` (the seeded chaos
-driver for ``request_storm`` fault plans) and a minimal Unix-socket
-server/client pair backing ``repro serve`` / ``repro request``.
+driver for ``request_storm`` / ``driver_kill`` fault plans) and a
+hardened Unix-socket server/client pair backing ``repro serve`` /
+``repro request`` (frame-length caps, per-connection fault isolation,
+stale-socket reclaim).
 """
 
 from __future__ import annotations
 
+import ast
 import hashlib
+import itertools
 import os
 import pickle
+import signal
 import socket
 import struct
 import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
 
+from .sparkle.chaos import deterministic_fraction
+from .sparkle.durable import DurableBlockStore, SolveJournal
 from .sparkle.errors import (
     BlockNotFoundError,
     CircuitOpenError,
+    CorruptBlockError,
     ExecutorLost,
+    FrameTooLargeError,
     JobAborted,
     PoisonTaskError,
     RequestDeadlineExceeded,
+    ServiceDrainingError,
     ServiceOverloadedError,
     ShuffleFetchFailed,
     SparkleError,
@@ -81,6 +106,7 @@ __all__ = [
     "SolveTicket",
     "ResultCache",
     "CircuitBreaker",
+    "RequestJournal",
     "SolverService",
     "run_request_storm",
     "serve_forever",
@@ -119,6 +145,9 @@ def is_retryable(exc: BaseException) -> bool:
     the same budget will be exceeded again.
     """
     if isinstance(exc, (ServiceOverloadedError, CircuitOpenError)):
+        return True
+    if isinstance(exc, ServiceDrainingError):
+        # The drain always precedes a restart (or a peer): retry there.
         return True
     if isinstance(exc, RequestDeadlineExceeded):
         return False
@@ -167,6 +196,14 @@ class ServiceConfig:
         ``retry_after`` hint attached to overload sheds, seconds.
     default_deadline:
         Applied to requests that carry none (``None`` = unlimited).
+    max_frame_bytes:
+        Socket frames announcing more than this many payload bytes are
+        refused with :class:`FrameTooLargeError` before any payload is
+        read (allocation-bomb guard).
+    drain_retry_after:
+        ``retry_after`` hint attached to :class:`ServiceDrainingError`
+        sheds — how long a client should wait before retrying against
+        the restarted instance.
     """
 
     max_queue_depth: int = 16
@@ -178,6 +215,8 @@ class ServiceConfig:
     breaker_cooldown: float = 2.0
     shed_retry_after: float = 0.25
     default_deadline: float | None = None
+    max_frame_bytes: int = 256 * 1024 * 1024
+    drain_retry_after: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -188,6 +227,8 @@ class ServiceConfig:
             raise ValueError("retries must be >= 0")
         if self.breaker_threshold < 1:
             raise ValueError("breaker_threshold must be >= 1")
+        if self.max_frame_bytes < 4096:
+            raise ValueError("max_frame_bytes must be >= 4096")
 
 
 class SolveTicket:
@@ -213,6 +254,9 @@ class SolveTicket:
         self.deadline_at = deadline_at
         self.coalesced = False
         self.from_cache = False
+        #: WAL key this admission was journaled under (None = unjournaled
+        #: path: cache hit, idempotent replay, or journal-less service)
+        self.journal_key: str | None = None
         self._t0 = time.monotonic()
         self._event = threading.Event()
         self._settle_lock = threading.Lock()
@@ -249,6 +293,9 @@ class SolveTicket:
             coalesced=self.coalesced,
             wall_seconds=time.monotonic() - self._t0,
         )
+        # Durable settle *before* waking the waiter: once a client has
+        # seen a reply, a crash-and-resume must never re-run the work.
+        self._service._journal_settle(self, "completed", result=result)
         m = self._service.metrics
         with self._service._metrics_lock:
             m.requests_completed += 1
@@ -256,9 +303,11 @@ class SolveTicket:
 
     def _fail(self, exc: BaseException) -> None:
         deadline = isinstance(exc, RequestDeadlineExceeded)
-        if not self._settle("deadline-cancelled" if deadline else "failed"):
+        outcome = "deadline-cancelled" if deadline else "failed"
+        if not self._settle(outcome):
             return
         self._error = exc
+        self._service._journal_settle(self, outcome, error=exc)
         m = self._service.metrics
         with self._service._metrics_lock:
             if deadline:
@@ -511,6 +560,275 @@ class CircuitBreaker:
             return max(0.0, self.cooldown - (time.monotonic() - self._opened_at))
 
 
+class RequestJournal:
+    """Durable WAL of admitted requests plus a spooled-result store.
+
+    The survivability layer of DESIGN.md §16.  Two on-disk pieces under
+    one directory, both built from the PR 2 durability idioms:
+
+    ``requests.wal``
+        A :class:`~repro.sparkle.durable.SolveJournal` (checksummed
+        JSONL, contiguous seq numbers, torn-tail truncation on open).
+        Every admission is fsync-appended *before* the client's ticket
+        is returned (``kind=admitted``: idempotency key, fingerprint,
+        the replayable wire payload, deadline, wall-clock admission
+        time); every settlement appends ``kind=settled`` *before* the
+        waiter wakes.  The set "admitted keys whose latest record is
+        not a settle" is therefore exactly the in-flight set at any
+        crash point — which is what ``--resume`` replays.
+
+    ``results/``
+        A bounded :class:`~repro.sparkle.durable.DurableBlockStore`
+        spool of completed results keyed by solve fingerprint, written
+        *before* the settle record (the record is the commit point, the
+        PR 2 snapshot-then-journal protocol).  Resume rehydrates the
+        in-memory :class:`ResultCache` from it, and reconnecting
+        clients replaying an idempotency key are served from it with no
+        engine pass.
+
+    Thread-safe; an instance may be shared by the admission path, the
+    dispatcher's settles, and a concurrent ``--stats`` reader.  Counters
+    land in the owning service's :class:`ServiceMetrics` once
+    :meth:`bind_metrics` attaches them.
+    """
+
+    WAL_FILENAME = "requests.wal"
+    SPOOL_DIR = "results"
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        spool_entries: int = 32,
+    ) -> None:
+        if spool_entries < 0:
+            raise ValueError("spool_entries must be >= 0")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.wal = SolveJournal(self.root, filename=self.WAL_FILENAME)
+        self.spool = DurableBlockStore(self.root / self.SPOOL_DIR)
+        self.spool_entries = spool_entries
+        self._lock = threading.Lock()
+        self._metrics: ServiceMetrics | None = None
+        self._metrics_lock: threading.Lock | None = None
+        #: latest WAL record per idempotency key — "admitted" means
+        #: in-flight, "settled" means done (and maybe serviceable)
+        self._state: dict[str, dict] = {}
+        #: completed-result fingerprints in (approximate) insertion
+        #: order; the spool's pruning queue
+        self._spool_index: "OrderedDict[str, None]" = OrderedDict()
+        self.torn_records = 0
+        self._load()
+
+    def _load(self) -> None:
+        raw = self.wal.verify()
+        self.torn_records = raw["records_total"] - raw["records_valid"]
+        for entry in self.wal.truncate_to_valid():
+            key = entry.get("key")
+            if key is not None:
+                self._state[key] = entry
+        for key_repr in self.spool.keys():
+            try:
+                fingerprint = ast.literal_eval(key_repr)
+            except (ValueError, SyntaxError):  # pragma: no cover — foreign key
+                continue
+            self._spool_index[fingerprint] = None
+
+    def bind_metrics(self, metrics: ServiceMetrics, lock: threading.Lock) -> None:
+        self._metrics = metrics
+        self._metrics_lock = lock
+        with lock:
+            metrics.journal_torn_records += self.torn_records
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        if self._metrics is None or self._metrics_lock is None:
+            return
+        with self._metrics_lock:
+            setattr(
+                self._metrics, counter, getattr(self._metrics, counter) + amount
+            )
+
+    # -- write path ----------------------------------------------------
+
+    def admit(
+        self,
+        key: str,
+        fingerprint: str,
+        payload: dict[str, Any],
+        *,
+        deadline: float | None = None,
+        tenant: str | None = None,
+        admitted_unix: float | None = None,
+    ) -> dict:
+        """Fsync-append one admission; returns the sealed WAL entry.
+
+        ``payload`` must be the JSON-safe *wire* form of the request
+        (what :func:`_build_request` consumes) so a restarted process
+        can rebuild and re-run it.  ``admitted_unix`` records wall-clock
+        admission time — resume re-clamps the deadline to the remaining
+        budget against it (monotonic clocks do not survive a restart).
+        """
+        record = {
+            "kind": "admitted",
+            "key": key,
+            "fingerprint": fingerprint,
+            "payload": dict(payload),
+            "deadline": deadline,
+            "tenant": tenant,
+            "admitted_unix": time.time() if admitted_unix is None else admitted_unix,
+        }
+        with self._lock:
+            entry = self.wal.append(record)
+            self._state[key] = entry
+        self._count("journal_admits")
+        return entry
+
+    def settle(
+        self,
+        key: str,
+        outcome: str,
+        *,
+        fingerprint: str | None = None,
+        result: np.ndarray | None = None,
+        error: BaseException | None = None,
+    ) -> bool:
+        """Durably settle ``key``; False if it already settled (dedup).
+
+        A completed result is spooled first (keyed by fingerprint, so
+        coalesced keys share one block), then the settle record commits
+        it — a crash between the two leaves an unreferenced spool block
+        that compaction prunes, never a settle without its result.
+        """
+        record: dict[str, Any] = {
+            "kind": "settled",
+            "key": key,
+            "outcome": outcome,
+            "fingerprint": fingerprint,
+        }
+        with self._lock:
+            state = self._state.get(key)
+            if state is not None and state.get("kind") == "settled":
+                return False
+            if result is not None and fingerprint is not None:
+                self._spool_put_locked(fingerprint, result)
+                record["result_check"] = _checksum(result)
+            if error is not None:
+                record["error_type"] = type(error).__name__
+                record["error_message"] = str(error)
+            entry = self.wal.append(record)
+            self._state[key] = entry
+        self._count("journal_settles")
+        return True
+
+    def _spool_put_locked(self, fingerprint: str, result: np.ndarray) -> None:
+        if self.spool_entries == 0:
+            return
+        if fingerprint not in self._spool_index:
+            self.spool.put(fingerprint, np.ascontiguousarray(result))
+            self._spool_index[fingerprint] = None
+        else:
+            self._spool_index.move_to_end(fingerprint)
+        while len(self._spool_index) > self.spool_entries:
+            evicted, _ = self._spool_index.popitem(last=False)
+            self.spool.delete(evicted)
+
+    # -- read path -----------------------------------------------------
+
+    def is_inflight(self, key: str) -> bool:
+        with self._lock:
+            state = self._state.get(key)
+            return state is not None and state.get("kind") == "admitted"
+
+    def settled_lookup(self, key: str) -> dict | None:
+        """The settle record for ``key``, or None if unsettled/unknown."""
+        with self._lock:
+            state = self._state.get(key)
+            if state is not None and state.get("kind") == "settled":
+                return dict(state)
+            return None
+
+    def settled_result(self, record: dict) -> np.ndarray | None:
+        """The spooled result a settle record committed, verified.
+
+        None when the spool pruned it (capacity) or the bytes fail the
+        settle record's checksum — callers fall through to a fresh
+        engine pass rather than serve doubtful bytes.
+        """
+        fingerprint = record.get("fingerprint")
+        if fingerprint is None:
+            return None
+        try:
+            array = self.spool.get(fingerprint)
+        except (BlockNotFoundError, CorruptBlockError):
+            return None
+        expected = record.get("result_check")
+        if expected is not None and _checksum(array) != expected:
+            return None
+        return array
+
+    def incomplete(self) -> list[dict]:
+        """Admitted-but-unsettled records, in admission (seq) order."""
+        with self._lock:
+            records = [
+                dict(rec)
+                for rec in self._state.values()
+                if rec.get("kind") == "admitted"
+            ]
+        return sorted(records, key=lambda r: r.get("seq", 0))
+
+    def spooled(self) -> list[tuple[str, np.ndarray]]:
+        """Every readable ``(fingerprint, result)`` in the spool."""
+        with self._lock:
+            fingerprints = list(self._spool_index)
+        out: list[tuple[str, np.ndarray]] = []
+        for fingerprint in fingerprints:
+            try:
+                out.append((fingerprint, self.spool.get(fingerprint)))
+            except (BlockNotFoundError, CorruptBlockError):
+                continue
+        return out
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self) -> int:
+        """Checkpoint the WAL; returns the number of records dropped.
+
+        Keeps exactly (a) in-flight admissions — the records a resume
+        must replay — and (b) completed settles whose result is still
+        spooled — the records that serve reconnecting clients.  History
+        behind those (settled work past spool capacity, failed/cancelled
+        settles, superseded admissions of re-used keys) is dropped, and
+        spool blocks no kept record references are pruned, so the
+        journal directory stays bounded no matter how long the service
+        runs.  The rewrite is one atomic rename (see
+        :meth:`SolveJournal.rewrite`).
+        """
+        with self._lock:
+            keep: list[dict] = []
+            kept_fingerprints: set[str] = set()
+            for key, rec in self._state.items():
+                if rec.get("kind") == "admitted":
+                    keep.append(rec)
+                elif (
+                    rec.get("outcome") == "completed"
+                    and rec.get("fingerprint") in self._spool_index
+                ):
+                    keep.append(rec)
+                    kept_fingerprints.add(rec["fingerprint"])
+            keep.sort(key=lambda r: r.get("seq", 0))
+            total = len(self.wal.entries())
+            dropped = total - len(keep)
+            sealed = self.wal.rewrite(keep)
+            self._state = {e["key"]: e for e in sealed}
+            for fingerprint in list(self._spool_index):
+                if fingerprint not in kept_fingerprints:
+                    del self._spool_index[fingerprint]
+                    self.spool.delete(fingerprint)
+        self._count("journal_compactions")
+        self._count("journal_records_compacted", dropped)
+        return dropped
+
+
 class SolverService:
     """Long-lived request plane over one shared :class:`SparkleContext`.
 
@@ -521,7 +839,13 @@ class SolverService:
     circuit breaker layered in front.
     """
 
-    def __init__(self, sc, *, config: ServiceConfig | None = None) -> None:
+    def __init__(
+        self,
+        sc,
+        *,
+        config: ServiceConfig | None = None,
+        journal: RequestJournal | None = None,
+    ) -> None:
         self.sc = sc
         self.config = config or ServiceConfig()
         self.metrics = ServiceMetrics()
@@ -532,6 +856,11 @@ class SolverService:
         self._inflight: dict[str, _Flight] = {}
         self._running: _Flight | None = None
         self._stopped = False
+        self._draining = False
+        self._journal = journal
+        self._auto_keys = itertools.count()
+        if journal is not None:
+            journal.bind_metrics(self.metrics, self._metrics_lock)
         self.cache = ResultCache(
             self.config.cache_entries, sc.memory_manager, self.metrics
         )
@@ -550,19 +879,40 @@ class SolverService:
     # -- client surface ------------------------------------------------
 
     def solve(
-        self, request: SolveRequest, timeout: float | None = None
+        self,
+        request: SolveRequest,
+        timeout: float | None = None,
+        *,
+        wire: dict[str, Any] | None = None,
     ) -> SolveResponse:
         """Admit, run (or coalesce/serve from cache), and wait."""
-        return self.submit(request).result(timeout)
+        return self.submit(request, wire=wire).result(timeout)
 
-    def submit(self, request: SolveRequest) -> SolveTicket:
+    def submit(
+        self,
+        request: SolveRequest,
+        *,
+        wire: dict[str, Any] | None = None,
+        _replay: bool = False,
+    ) -> SolveTicket:
         """Admit a request; returns immediately with a ticket.
 
         Raises :class:`ServiceOverloadedError` when admission control
         sheds the request (critical memory pressure, or the bounded
-        queue is full).  Cache hits and coalesced requests bypass
-        admission — they cost no engine pass, so shedding them would
-        only waste work already done.
+        queue is full) and :class:`ServiceDrainingError` once the
+        service is draining for shutdown.  Cache hits and coalesced
+        requests bypass admission — they cost no engine pass, so
+        shedding them would only waste work already done.
+
+        ``wire`` is the JSON-safe payload a restarted process could
+        rebuild this request from; when the service has a
+        :class:`RequestJournal` attached, admissions carrying one are
+        fsync-journaled before the ticket is returned.  A request whose
+        idempotency key the journal has already *settled* (a client
+        reconnecting across a restart) is served the original result
+        directly from the durable spool — no admission, no engine pass.
+        ``_replay`` marks resume-driven re-submissions, which are
+        already in the WAL and must not be re-appended.
         """
         if request.deadline is None and self.config.default_deadline is not None:
             request = replace(request, deadline=self.config.default_deadline)
@@ -578,11 +928,39 @@ class SolverService:
                 raise RuntimeError("SolverService is stopped")
             with self._metrics_lock:
                 self.metrics.requests_received += 1
+                self.metrics.tenant_event(request.tenant, "requests")
+            if self._draining:
+                with self._metrics_lock:
+                    self.metrics.requests_shed += 1
+                    self.metrics.draining_sheds += 1
+                    self.metrics.tenant_event(request.tenant, "sheds")
+                raise ServiceDrainingError(
+                    "service is draining for shutdown; retry against the "
+                    "restarted instance",
+                    retry_after=self.config.drain_retry_after,
+                )
+            replayed = self._settled_replay_locked(request, fingerprint, deadline_at)
+            if replayed is not None:
+                return replayed
             cached = self.cache.get(fingerprint)
             if cached is not None:
                 with self._metrics_lock:
                     self.metrics.requests_admitted += 1
+                    self.metrics.tenant_event(request.tenant, "cache_hits")
                 ticket = SolveTicket(self, request, fingerprint, deadline_at)
+                key = request.idempotency_key
+                if _replay or (
+                    key is not None
+                    and self._journal is not None
+                    and self._journal.is_inflight(key)
+                ):
+                    # The WAL already names this key in-flight (a resume
+                    # replay, or a keyed retry racing one): attach the
+                    # key so the cache-served fulfilment durably settles
+                    # it — otherwise the admission replays forever.
+                    ticket.journal_key = self._journal_admit(
+                        request, fingerprint, wire, _replay
+                    )
                 ticket._fulfill(cached, from_cache=True)
                 return ticket
             flight = self._inflight.get(fingerprint)
@@ -592,16 +970,118 @@ class SolverService:
                     self.metrics.single_flight_coalesced += 1
                 ticket = SolveTicket(self, request, fingerprint, deadline_at)
                 ticket.coalesced = True
+                ticket.journal_key = self._journal_admit(
+                    request, fingerprint, wire, _replay
+                )
                 flight.waiters.append(ticket)
                 return ticket
-            self._admit_locked(fingerprint)
+            try:
+                self._admit_locked(fingerprint)
+            except ServiceOverloadedError:
+                with self._metrics_lock:
+                    self.metrics.tenant_event(request.tenant, "sheds")
+                raise
             ticket = SolveTicket(self, request, fingerprint, deadline_at)
+            ticket.journal_key = self._journal_admit(
+                request, fingerprint, wire, _replay
+            )
             flight = _Flight(fingerprint)
             flight.waiters.append(ticket)
             self._inflight[fingerprint] = flight
             self._queue.append(flight)
             self._work.notify_all()
             return ticket
+
+    def _settled_replay_locked(
+        self,
+        request: SolveRequest,
+        fingerprint: str,
+        deadline_at: float | None,
+    ) -> SolveTicket | None:
+        """Serve a journal-settled idempotency key, or None to admit.
+
+        Only *completed* settles short-circuit: a key that settled as
+        failed or deadline-cancelled is a legitimate retry target, so it
+        falls through to a fresh admission (which supersedes the old
+        settle in the journal's per-key state).
+        """
+        key = request.idempotency_key
+        if key is None or self._journal is None:
+            return None
+        settled = self._journal.settled_lookup(key)
+        if settled is None or settled.get("outcome") != "completed":
+            return None
+        result = self._journal.settled_result(settled)
+        if result is None:
+            return None  # spool pruned/corrupt: run it again
+        with self._metrics_lock:
+            self.metrics.requests_admitted += 1
+            self.metrics.idempotent_replays += 1
+            self.metrics.tenant_event(request.tenant, "cache_hits")
+        ticket = SolveTicket(
+            self, request, settled.get("fingerprint") or fingerprint, deadline_at
+        )
+        ticket._fulfill(result, from_cache=True)
+        return ticket
+
+    def _journal_admit(
+        self,
+        request: SolveRequest,
+        fingerprint: str,
+        wire: dict[str, Any] | None,
+        replayed: bool,
+    ) -> str | None:
+        """Append one admission to the WAL; returns its key (or None).
+
+        Admissions without a wire payload are not journaled — a crash
+        could not replay them anyway (in-process requests carry live
+        spec/kernel/table objects).  Keys already named in-flight by the
+        WAL are not re-appended: that is a resume replay, or a client
+        retrying across a restart racing the replay — either way the
+        admission is already durable and the fingerprint single-flight
+        above coalesces the work.
+        """
+        if self._journal is None or wire is None:
+            return None
+        key = request.idempotency_key
+        if key is None:
+            # Server-generated key: journaled crash recovery still works
+            # (replay is keyed by the record, not the client), clients
+            # just cannot reclaim the settle without the key.
+            key = f"auto:{fingerprint[:16]}:{next(self._auto_keys)}"
+        if replayed or self._journal.is_inflight(key):
+            if not replayed:
+                with self._metrics_lock:
+                    self.metrics.resume_coalesced += 1
+            return key
+        payload = dict(wire)
+        payload["idempotency_key"] = key
+        self._journal.admit(
+            key,
+            fingerprint,
+            payload,
+            deadline=request.deadline,
+            tenant=request.tenant,
+        )
+        return key
+
+    def _journal_settle(
+        self,
+        ticket: SolveTicket,
+        outcome: str,
+        *,
+        result: np.ndarray | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        if self._journal is None or ticket.journal_key is None:
+            return
+        self._journal.settle(
+            ticket.journal_key,
+            outcome,
+            fingerprint=ticket.fingerprint,
+            result=result,
+            error=error,
+        )
 
     def _admit_locked(self, fingerprint: str) -> None:
         mm = self.sc.memory_manager
@@ -773,6 +1253,89 @@ class SolverService:
 
     # -- lifecycle -----------------------------------------------------
 
+    def drain(self) -> None:
+        """Flip admission to shedding; in-flight work runs to settlement.
+
+        The first phase of graceful shutdown (DESIGN.md §16): new
+        submissions raise a retryable :class:`ServiceDrainingError`
+        carrying ``drain_retry_after``, while queued and running flights
+        finish (or deadline-cancel through the normal kill/reap
+        machinery).  Idempotent.  Call :meth:`stop` afterwards to join
+        the dispatcher and checkpoint the journal.
+        """
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def resume(self) -> list[SolveTicket]:
+        """Hot-restart recovery: rehydrate the cache, replay the WAL.
+
+        Two phases (DESIGN.md §16).  First every readable spooled result
+        is pushed into the :class:`ResultCache` (charged to the storage
+        pool like any other entry — a squeeze can still evict it).  Then
+        each incomplete WAL admission is rebuilt from its wire payload
+        and re-submitted through the *normal* admission path: deadlines
+        are re-clamped to the budget remaining since the recorded
+        wall-clock admission time (an admission whose budget is already
+        spent settles ``deadline-cancelled`` without an engine pass),
+        duplicate keys across restarts coalesce via the per-key WAL
+        state, and duplicate fingerprints coalesce via single-flight.
+
+        Returns the replay tickets; no client waits on them directly —
+        reconnecting clients land on the same flights through their
+        idempotency keys, or on the settled results afterwards.  Call
+        before :func:`serve_forever` binds the socket.
+        """
+        if self._journal is None:
+            raise RuntimeError("resume() requires a RequestJournal")
+        for fingerprint, array in self._journal.spooled():
+            if self.cache.put(fingerprint, array):
+                with self._metrics_lock:
+                    self.metrics.results_rehydrated += 1
+        tickets: list[SolveTicket] = []
+        now = time.time()
+        for record in self._journal.incomplete():
+            payload = dict(record.get("payload") or {})
+            key = record["key"]
+            deadline = record.get("deadline")
+            if deadline is not None:
+                elapsed = max(0.0, now - float(record.get("admitted_unix") or now))
+                remaining = float(deadline) - elapsed
+                if remaining <= 0:
+                    exc = RequestDeadlineExceeded(
+                        "request deadline expired while the service was down",
+                        deadline=deadline,
+                        elapsed=elapsed,
+                    )
+                    self._journal.settle(
+                        key,
+                        "deadline-cancelled",
+                        fingerprint=record.get("fingerprint"),
+                        error=exc,
+                    )
+                    with self._metrics_lock:
+                        self.metrics.deadline_cancelled += 1
+                    continue
+                payload["deadline"] = remaining
+            payload["idempotency_key"] = key
+            request = _build_request(payload)
+            while True:
+                try:
+                    ticket = self.submit(request, wire=payload, _replay=True)
+                    break
+                except ServiceOverloadedError as exc:
+                    # Replay must not lose journaled work to its own
+                    # burst; trickle it in as the queue frees up.
+                    time.sleep(exc.retry_after or 0.05)
+            with self._metrics_lock:
+                self.metrics.journal_replayed += 1
+            tickets.append(ticket)
+        return tickets
+
     def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
         """Stop the service; by default drains queued flights first.
 
@@ -807,6 +1370,10 @@ class SolverService:
         if self.sc.memory_manager is not None:
             self.sc.memory_manager.remove_squeeze_listener(self.cache.on_squeeze)
         self.cache.clear()
+        if self._journal is not None:
+            # Every flight has settled; checkpoint the WAL down to the
+            # serviceable remainder so the next start replays no history.
+            self._journal.compact()
 
     def __enter__(self) -> "SolverService":
         return self
@@ -827,6 +1394,7 @@ def run_request_storm(
     plan=None,
     tight_deadline: float = 0.005,
     timeout: float = 120.0,
+    on_driver_kill: Callable[[int, int], None] | None = None,
 ) -> list[dict[str, Any]]:
     """Drive ``clients`` concurrent threads through the service.
 
@@ -836,6 +1404,13 @@ def run_request_storm(
     single-flight/cache paths) or clamp on a ``tight_deadline``
     (exercising mid-flight cancellation), both decided by the seeded
     BLAKE2b contract so storms replay exactly.
+
+    A plan arming ``driver_kill`` additionally consults
+    :meth:`~repro.sparkle.chaos.FaultPlan.driver_kill` before each
+    request and invokes ``on_driver_kill(client, seq)`` when it fires —
+    the harness's hook to murder (or drain) the service at a seeded
+    point mid-storm.  The client then proceeds to submit into whatever
+    wreckage the hook left, which is exactly the point.
 
     Returns one outcome dict per request: ``{"client", "seq", "twist",
     "ok", "response" | "error", "retryable"}``.  Raises if any client
@@ -849,6 +1424,12 @@ def run_request_storm(
         barrier.wait(timeout=timeout)
         previous: SolveRequest | None = None
         for seq in range(requests_per_client):
+            if (
+                plan is not None
+                and on_driver_kill is not None
+                and plan.driver_kill(client, seq)
+            ):
+                on_driver_kill(client, seq)
             twist = plan.request_fault(client, seq) if plan is not None else None
             request = make_request(client, seq)
             if twist == "duplicate" and previous is not None:
@@ -909,8 +1490,21 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def _recv_msg(sock: socket.socket) -> Any:
+def _recv_msg(sock: socket.socket, max_bytes: int | None = None) -> Any:
+    """Read one length-prefixed pickle frame, refusing oversized ones.
+
+    The length is checked *before* any payload byte is read: a hostile
+    or corrupt 8-byte header must not be able to make the server
+    allocate (or slowly stream) an unbounded buffer.
+    """
     (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if max_bytes is not None and length > max_bytes:
+        raise FrameTooLargeError(
+            f"frame announces {length} bytes; this server caps frames at "
+            f"{max_bytes} bytes",
+            length=length,
+            limit=max_bytes,
+        )
     return pickle.loads(_recv_exact(sock, length))
 
 
@@ -956,7 +1550,64 @@ def _build_request(payload: dict[str, Any]) -> SolveRequest:
         deadline=payload.get("deadline"),
         client=payload.get("client", "socket"),
         request_id=payload.get("request_id"),
+        tenant=payload.get("tenant"),
+        idempotency_key=payload.get("idempotency_key"),
     )
+
+
+#: Wire-payload keys that fully determine a rebuildable request — what
+#: the request journal persists.  Transport-only keys (``timeout``,
+#: ``return_result``, ``op``) deliberately stay out: they shape the
+#: reply, not the work, and a replay has no client to reply to.
+_WIRE_KEYS = (
+    "problem",
+    "n",
+    "seed",
+    "density",
+    "r",
+    "strategy",
+    "deadline",
+    "client",
+    "request_id",
+    "tenant",
+    "idempotency_key",
+)
+
+
+def _journal_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """The JSON-safe replayable core of a wire payload."""
+    return {
+        key: payload[key] for key in _WIRE_KEYS if payload.get(key) is not None
+    }
+
+
+def _reclaim_stale_socket(socket_path: str, service: SolverService) -> None:
+    """Reclaim a socket file left behind by a SIGKILLed server.
+
+    A dead server cannot unlink its socket; the file keeps existing and
+    every connect gets ``ConnectionRefusedError`` forever.  Probe it: no
+    listener → unlink and take the address; a live listener answers the
+    connect → refuse to bind on top of a running service.
+    """
+    if not os.path.exists(socket_path):
+        return
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.5)
+    alive = False
+    try:
+        probe.connect(socket_path)
+        alive = True
+    except OSError:
+        pass
+    finally:
+        probe.close()
+    if alive:
+        raise OSError(
+            f"socket {socket_path} already has a live service listening"
+        )
+    os.unlink(socket_path)
+    with service._metrics_lock:
+        service.metrics.stale_sockets_reclaimed += 1
 
 
 def serve_forever(
@@ -965,6 +1616,8 @@ def serve_forever(
     *,
     max_requests: int | None = None,
     ready: threading.Event | None = None,
+    max_frame_bytes: int | None = None,
+    install_signal_handlers: bool | None = None,
 ) -> int:
     """Accept loop: one connection = one request = one reply.
 
@@ -972,45 +1625,119 @@ def serve_forever(
     array when the payload asks ``return_result``) or ``{"status":
     "error", "error": <pickled typed exception>, "retryable": bool}``.
     ``max_requests`` bounds the loop for tests; returns requests served.
+
+    Per-connection failures — oversized frames, clients torn away
+    mid-frame or mid-reply — are metered and answered (when possible)
+    on that connection only; nothing a single client does can kill the
+    accept loop.
+
+    Shutdown follows the §16 drain sequence.  SIGTERM/SIGINT (handlers
+    installed when running on the main thread, unless
+    ``install_signal_handlers=False``) flip the service to draining —
+    new admissions shed with :class:`ServiceDrainingError` — and close
+    the listener, so late clients fail fast instead of hanging on a
+    half-dead server.  Accepted connections are then joined (their
+    flights finish or deadline-cancel), the request journal is
+    checkpointed, and the socket file is unlinked last.  The caller
+    tears down the service and context only after this returns.
     """
-    if os.path.exists(socket_path):
-        os.unlink(socket_path)
+    if max_frame_bytes is None:
+        max_frame_bytes = service.config.max_frame_bytes
+    _reclaim_stale_socket(socket_path, service)
     server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     served = 0
     handlers: list[threading.Thread] = []
+    stopping = threading.Event()
+
+    def begin_drain(signum=None, frame=None):
+        service.drain()
+        stopping.set()
+        # Closing the listener pops accept() out with OSError and makes
+        # connects fail fast while in-flight work settles.
+        server.close()
+
+    installed: list[tuple[int, Any]] = []
+    if install_signal_handlers is None:
+        install_signal_handlers = (
+            threading.current_thread() is threading.main_thread()
+        )
+    if install_signal_handlers:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            installed.append((sig, signal.signal(sig, begin_drain)))
     try:
         server.bind(socket_path)
         server.listen(16)
         if ready is not None:
             ready.set()
-        while max_requests is None or served < max_requests:
-            conn, _ = server.accept()
+        while (max_requests is None or served < max_requests) and not stopping.is_set():
+            try:
+                conn, _ = server.accept()
+            except OSError:
+                break  # listener closed by begin_drain
             served += 1
+            handlers = [t for t in handlers if t.is_alive()]
             t = threading.Thread(
-                target=_handle_conn, args=(service, conn), daemon=True
+                target=_handle_conn,
+                args=(service, conn, max_frame_bytes),
+                daemon=True,
             )
             t.start()
             handlers.append(t)
-        # A bounded run must serve every accepted request before the
-        # caller tears the service down under the last handler.
+        # Every accepted request gets its reply before teardown — both
+        # for bounded test runs and for the drain path.
         for t in handlers:
             t.join()
+        if service._journal is not None:
+            service._journal.compact()
         return served
     finally:
+        for sig, previous in installed:
+            signal.signal(sig, previous)
         server.close()
+        # Unlinked last (§16): while draining, the path still names a
+        # closed listener, so clients get an immediate refusal rather
+        # than a vanished file followed by a recycled address.
         if os.path.exists(socket_path):
             os.unlink(socket_path)
 
 
-def _handle_conn(service: SolverService, conn: socket.socket) -> None:
+def _handle_conn(
+    service: SolverService,
+    conn: socket.socket,
+    max_frame_bytes: int | None = None,
+) -> None:
+    def note_disconnect() -> None:
+        with service._metrics_lock:
+            service.metrics.client_disconnects += 1
+
     with conn:
         try:
-            payload = _recv_msg(conn)
+            payload = _recv_msg(conn, max_bytes=max_frame_bytes)
+        except FrameTooLargeError as exc:
+            with service._metrics_lock:
+                service.metrics.frames_rejected += 1
+            try:
+                _send_msg(
+                    conn, {"status": "error", "error": exc, "retryable": False}
+                )
+            except OSError:
+                note_disconnect()
+            return
+        except (ConnectionError, OSError):
+            # Torn frame / client vanished mid-send: this connection's
+            # problem only, the accept loop never hears about it.
+            note_disconnect()
+            return
+        try:
             if payload.get("op") == "stats":
                 _send_msg(conn, {"status": "ok", **service.metrics.summary()})
                 return
             request = _build_request(payload)
-            response = service.solve(request, timeout=payload.get("timeout"))
+            response = service.solve(
+                request,
+                timeout=payload.get("timeout"),
+                wire=_journal_payload(payload),
+            )
             reply: dict[str, Any] = {
                 "status": "ok",
                 "fingerprint": response.fingerprint,
@@ -1022,6 +1749,11 @@ def _handle_conn(service: SolverService, conn: socket.socket) -> None:
             if payload.get("return_result"):
                 reply["result"] = response.result
             _send_msg(conn, reply)
+        except (BrokenPipeError, ConnectionResetError):
+            # The work settled (and, if journaled, durably so — the
+            # client's keyed retry will be served the same result); only
+            # the reply was lost.
+            note_disconnect()
         except BaseException as exc:  # noqa: BLE001 — shipped to the client
             try:
                 _send_msg(
@@ -1033,18 +1765,55 @@ def _handle_conn(service: SolverService, conn: socket.socket) -> None:
                     },
                 )
             except OSError:
-                pass
+                note_disconnect()
 
 
 def send_request(
-    socket_path: str, payload: dict[str, Any], *, timeout: float = 120.0
+    socket_path: str,
+    payload: dict[str, Any],
+    *,
+    timeout: float = 120.0,
+    retries: int = 0,
+    backoff_base: float = 0.05,
+    backoff_cap: float = 2.0,
 ) -> dict[str, Any]:
-    """Send one request dict to a running service; returns the reply."""
-    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    client.settimeout(timeout)
-    try:
-        client.connect(socket_path)
-        _send_msg(client, payload)
-        return _recv_msg(client)
-    finally:
-        client.close()
+    """Send one request dict to a running service; returns the reply.
+
+    With ``retries > 0`` the client survives a dying or restarting
+    server: transport failures (connection refused, socket file briefly
+    missing, reset mid-reply, timeout) are retried with jittered
+    exponential backoff.  Solve payloads are stamped with a generated
+    ``idempotency_key`` (when the caller supplied none) that is *reused
+    across attempts* — a journal-backed server replays the settled
+    result instead of re-running work whose reply was lost, so retrying
+    is safe even after the request was accepted.  Typed error replies
+    (sheds, deadline overruns) are returned, not retried: the transport
+    worked, and the retry policy for those belongs to the caller.
+
+    The backoff jitter uses the seeded chaos hash keyed on the
+    idempotency key and attempt — deterministic, like every other
+    "random" in this engine.
+    """
+    payload = dict(payload)
+    key = payload.get("idempotency_key")
+    if retries > 0 and payload.get("op") != "stats" and key is None:
+        key = f"auto:{os.urandom(8).hex()}"
+        payload["idempotency_key"] = key
+    last_exc: Exception | None = None
+    for attempt in range(retries + 1):
+        if attempt:
+            jitter = deterministic_fraction(0, "reconnect", (key or "", attempt))
+            delay = min(backoff_base * 2 ** (attempt - 1), backoff_cap)
+            time.sleep(delay * (0.5 + jitter))
+        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        client.settimeout(timeout)
+        try:
+            client.connect(socket_path)
+            _send_msg(client, payload)
+            return _recv_msg(client)
+        except (OSError, ConnectionError) as exc:
+            last_exc = exc
+        finally:
+            client.close()
+    assert last_exc is not None
+    raise last_exc

@@ -79,12 +79,14 @@ from .errors import (
     CircuitOpenError,
     CorruptBlockError,
     ExecutorLost,
+    FrameTooLargeError,
     JobAborted,
     JournalError,
     LastExecutorProtectedWarning,
     PoisonTaskError,
     RequestDeadlineExceeded,
     ResumeMismatchError,
+    ServiceDrainingError,
     ServiceOverloadedError,
     ShuffleFetchFailed,
     SparkleError,
@@ -179,8 +181,10 @@ __all__ = [
     "TaskDeadlineExceeded",
     "PoisonTaskError",
     "ServiceOverloadedError",
+    "ServiceDrainingError",
     "RequestDeadlineExceeded",
     "CircuitOpenError",
+    "FrameTooLargeError",
     "ServiceMetrics",
     "SolveRequest",
     "SolveResponse",

@@ -80,11 +80,17 @@ CURRENT_TASK: ContextVar = ContextVar("sparkle_current_task", default=None)
 #:                   exact duplicate of another in-flight request (the
 #:                   single-flight dedup path); decided per
 #:                   ``(client, seq)`` so storms replay bit-identically
+#: ``driver_kill``   the *driver/service process itself* dies mid-storm
+#:                   (SIGKILL, no goodbye): the harshest service-plane
+#:                   fault, exercising the request journal's replay and
+#:                   the ``--resume`` recovery path; decided per
+#:                   ``(client, seq)`` like the other request twists so
+#:                   the kill point replays bit-identically
 FAULT_KINDS = (
     "kill", "lose", "slow", "storage", "bcast", "overflow",
     "torn_write", "corrupt_block", "mem_squeeze",
     "worker_kill", "worker_hang", "worker_oom",
-    "request_storm",
+    "request_storm", "driver_kill",
 )
 
 #: Modest everything-on mix used by ``FaultPlan.default`` / bare
@@ -111,6 +117,9 @@ DEFAULT_RATES = {
     # Request twists only mean anything to a SolverService driving a
     # storm; a bare solve has no request plane to twist.
     "request_storm": 0.0,
+    # Killing the driver is the bluntest fault there is — only a soak
+    # harness that also arranges the restart should ever arm it.
+    "driver_kill": 0.0,
 }
 
 DEFAULT_STRAGGLER_DELAY = 0.05
@@ -347,6 +356,22 @@ class FaultPlan:
             )
             return "tight_deadline" if frac < 0.5 else "duplicate"
         return None
+
+    def driver_kill(self, client: int, seq: int) -> bool:
+        """Should the driver die before request ``seq`` of ``client``?
+
+        The harshest service-plane fault: the storm harness SIGKILLs the
+        serving process (or flips it into drain, for in-process storms)
+        at this point, then the soak restarts it with ``--resume`` and
+        asserts exactly-once-visible settlement.  Keyed by
+        ``(client, seq)`` so the kill lands at the same logical point in
+        every replay of the storm, regardless of thread interleaving.
+        """
+        site = ("driver", client, seq)
+        if self._decide("driver_kill", 1, site):
+            self.note("driver_kill")
+            return True
+        return False
 
     def durable_fault(self, kind: str, key, attempt: int) -> bool:
         """Durable-store fault (``torn_write``/``corrupt_block``).

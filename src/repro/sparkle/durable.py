@@ -369,10 +369,10 @@ class SolveJournal:
 
     FILENAME = "journal.wal"
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(self, root: str | os.PathLike, filename: str | None = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.path = self.root / self.FILENAME
+        self.path = self.root / (filename or self.FILENAME)
         self._cached_entries: int | None = None
 
     @property
@@ -444,6 +444,31 @@ class SolveJournal:
         _atomic_write(self.path, data.encode())
         self._cached_entries = len(entries)
         return entries
+
+    def rewrite(self, records: list[dict]) -> list[dict]:
+        """Atomically replace the journal with ``records`` (compaction).
+
+        Each record is re-sealed with a fresh contiguous sequence number
+        (any stale ``v``/``seq``/``check`` fields are stripped first),
+        and the whole file lands via one crash-atomic rename — a crash
+        mid-compaction leaves either the full old journal or the full
+        new one, never a mix.  Returns the sealed entries as written.
+        """
+        sealed: list[dict] = []
+        for seq, record in enumerate(records):
+            entry = {
+                k: v
+                for k, v in dict(record).items()
+                if k not in ("v", "seq", "check")
+            }
+            entry["v"] = JOURNAL_VERSION
+            entry["seq"] = seq
+            entry["check"] = self._seal(entry)
+            sealed.append(entry)
+        data = "".join(json.dumps(e, sort_keys=True) + "\n" for e in sealed)
+        _atomic_write(self.path, data.encode())
+        self._cached_entries = len(sealed)
+        return sealed
 
     def reset(self) -> None:
         """Start a fresh journal (new solve in an old directory)."""

@@ -30,8 +30,10 @@ __all__ = [
     "TaskDeadlineExceeded",
     "PoisonTaskError",
     "ServiceOverloadedError",
+    "ServiceDrainingError",
     "RequestDeadlineExceeded",
     "CircuitOpenError",
+    "FrameTooLargeError",
 ]
 
 
@@ -272,6 +274,52 @@ class ServiceOverloadedError(SparkleError):
             type(self),
             (self.args[0], self.level, self.queue_depth, self.retry_after),
         )
+
+
+class ServiceDrainingError(SparkleError):
+    """The solver service is draining for shutdown and refuses new work.
+
+    Raised at admission once SIGTERM/SIGINT (or an explicit
+    :meth:`~repro.service.SolverService.drain`) has flipped the service
+    into its drain phase: in-flight and queued requests run to
+    settlement, but no new work is accepted.  Retryable — journaled
+    in-flight requests are replayed by ``repro serve --resume``, so a
+    client that retries (reusing its idempotency key) against the
+    restarted instance gets the same result.  ``retry_after`` is the
+    service's hint for when a successor is expected to be listening.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.retry_after))
+
+
+class FrameTooLargeError(SparkleError):
+    """A socket frame announced a length above the server's cap.
+
+    The wire protocol is length-prefixed pickle; without a cap a single
+    hostile (or corrupt) 8-byte header could make the server allocate
+    petabytes.  The frame is refused *before* any payload is read, the
+    error is shipped back typed, and the connection is closed — the
+    accept loop is unaffected.  Not retryable: the same frame would be
+    refused again.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        length: int | None = None,
+        limit: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.length = length
+        self.limit = limit
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.length, self.limit))
 
 
 class RequestDeadlineExceeded(SparkleError):

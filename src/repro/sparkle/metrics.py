@@ -384,6 +384,8 @@ class ServiceMetrics:
     requests_queued: int = 0
     #: requests refused at admission (queue full / critical pressure)
     requests_shed: int = 0
+    #: requests refused because the service was draining for shutdown
+    draining_sheds: int = 0
     # ---- completion ----------------------------------------------------
     requests_completed: int = 0
     #: requests that returned a typed error (excluding sheds)
@@ -412,6 +414,51 @@ class ServiceMetrics:
     circuit_failovers: int = 0
     circuit_half_opens: int = 0
     circuit_closes: int = 0
+    # ---- request journal / hot restart (DESIGN.md §16) -------------------
+    #: admissions fsync-appended to the durable request WAL
+    journal_admits: int = 0
+    #: settlement records appended (completed / failed / deadline)
+    journal_settles: int = 0
+    #: torn/garbage WAL tail records truncated when the journal opened
+    journal_torn_records: int = 0
+    #: incomplete WAL entries re-submitted through admission by resume()
+    journal_replayed: int = 0
+    #: WAL checkpoint/compaction passes (drain or stop)
+    journal_compactions: int = 0
+    #: records dropped by compaction (settled + superseded history)
+    journal_records_compacted: int = 0
+    #: cache entries rebuilt from the durable result spool on resume
+    results_rehydrated: int = 0
+    #: reconnecting clients served a prior settlement by idempotency key
+    #: (no admission, no engine pass)
+    idempotent_replays: int = 0
+    #: submissions whose idempotency key the WAL already named in-flight
+    #: (a client retrying across a restart) — coalesced, not re-admitted
+    resume_coalesced: int = 0
+    # ---- socket plane -----------------------------------------------------
+    #: frames refused before payload read (length above the cap)
+    frames_rejected: int = 0
+    #: per-connection client failures (vanished mid-frame / mid-reply)
+    client_disconnects: int = 0
+    #: stale socket files (dead server, no listener) reclaimed on bind
+    stale_sockets_reclaimed: int = 0
+    # ---- per-tenant accounting --------------------------------------------
+    #: ``tenant -> {"requests", "sheds", "cache_hits"}``; only requests
+    #: that carry a tenant are metered here (totals above cover everyone)
+    per_tenant: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def tenant_event(self, tenant: str | None, event: str) -> None:
+        """Count one per-tenant event; no-op for anonymous requests.
+
+        Callers hold the service's metrics lock, like every other
+        counter mutation on this class.
+        """
+        if not tenant:
+            return
+        counters = self.per_tenant.setdefault(
+            tenant, {"requests": 0, "sheds": 0, "cache_hits": 0}
+        )
+        counters[event] += 1
 
     def summary(self) -> dict[str, Any]:
         """Flat counter view (the ``repro serve`` / bench surface)."""
@@ -421,6 +468,7 @@ class ServiceMetrics:
             "requests_admitted": self.requests_admitted,
             "requests_queued": self.requests_queued,
             "requests_shed": self.requests_shed,
+            "draining_sheds": self.draining_sheds,
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
             "deadline_cancelled": self.deadline_cancelled,
@@ -439,4 +487,17 @@ class ServiceMetrics:
             "circuit_failovers": self.circuit_failovers,
             "circuit_half_opens": self.circuit_half_opens,
             "circuit_closes": self.circuit_closes,
+            "journal_admits": self.journal_admits,
+            "journal_settles": self.journal_settles,
+            "journal_torn_records": self.journal_torn_records,
+            "journal_replayed": self.journal_replayed,
+            "journal_compactions": self.journal_compactions,
+            "journal_records_compacted": self.journal_records_compacted,
+            "results_rehydrated": self.results_rehydrated,
+            "idempotent_replays": self.idempotent_replays,
+            "resume_coalesced": self.resume_coalesced,
+            "frames_rejected": self.frames_rejected,
+            "client_disconnects": self.client_disconnects,
+            "stale_sockets_reclaimed": self.stale_sockets_reclaimed,
+            "per_tenant": {t: dict(c) for t, c in sorted(self.per_tenant.items())},
         }

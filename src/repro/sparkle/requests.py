@@ -103,6 +103,18 @@ class SolveRequest:
     #: client identity for accounting/tracing (free-form)
     client: str = "anonymous"
     request_id: str | None = None
+    #: billing/accounting principal; metered per-tenant in
+    #: :class:`~repro.sparkle.metrics.ServiceMetrics` but deliberately
+    #: excluded from the fingerprint — two tenants asking for the same
+    #: solve share one engine pass and one cache entry
+    tenant: str | None = None
+    #: client-supplied stable identity for *this submission* (not the
+    #: solve): the request journal keys admission/settlement on it, so a
+    #: client that reconnects after a driver crash and resends the same
+    #: key is served the original settlement instead of a re-execution.
+    #: Also excluded from the fingerprint — it names the attempt, not
+    #: the work.
+    idempotency_key: str | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ("im", "cb", "bcast"):

@@ -1,0 +1,243 @@
+"""Unit tests for the durable request WAL (DESIGN.md §16).
+
+:class:`repro.service.RequestJournal` is the survivability substrate of
+the solver service: a checksummed admit/settle write-ahead log plus a
+bounded durable result spool.  These tests exercise it in isolation —
+no service, no engine — covering the in-flight bookkeeping, the
+spool-then-settle commit protocol, torn-tail truncation after a crash
+mid-append, capacity pruning, key reuse after failed settles, and the
+compaction that keeps the journal directory bounded.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import RequestJournal
+from repro.sparkle.metrics import ServiceMetrics
+
+pytestmark = [pytest.mark.service, pytest.mark.durability]
+
+
+def _result(seed: int = 0, n: int = 8) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n))
+
+
+def _payload(seed: int = 0) -> dict:
+    return {"problem": "apsp", "n": 24, "seed": seed, "r": 6}
+
+
+class TestAdmitSettle:
+    def test_admission_is_inflight_until_settled(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        journal.admit("k-1", "fp-1", _payload(1), deadline=5.0, tenant="acme")
+        journal.admit("k-2", "fp-2", _payload(2))
+        assert journal.is_inflight("k-1")
+        assert journal.is_inflight("k-2")
+        assert not journal.is_inflight("k-ghost")
+        records = journal.incomplete()
+        assert [r["key"] for r in records] == ["k-1", "k-2"]
+        assert records[0]["deadline"] == 5.0
+        assert records[0]["tenant"] == "acme"
+        assert records[0]["payload"] == _payload(1)
+        assert records[0]["admitted_unix"] > 0
+
+        assert journal.settle("k-1", "completed", fingerprint="fp-1",
+                              result=_result(1))
+        assert not journal.is_inflight("k-1")
+        assert [r["key"] for r in journal.incomplete()] == ["k-2"]
+
+    def test_settle_is_exactly_once_per_key(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        journal.admit("k", "fp", _payload())
+        assert journal.settle("k", "completed", fingerprint="fp",
+                              result=_result())
+        # a second settle (coalesced waiter, racing retry) is a no-op
+        assert not journal.settle("k", "failed", fingerprint="fp")
+        settled = journal.settled_lookup("k")
+        assert settled["outcome"] == "completed"
+
+    def test_settled_result_round_trips_verified(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        result = _result(7)
+        journal.admit("k", "fp", _payload(7))
+        journal.settle("k", "completed", fingerprint="fp", result=result)
+        settled = journal.settled_lookup("k")
+        assert settled["result_check"]
+        out = journal.settled_result(settled)
+        assert out.tobytes() == result.tobytes()
+
+    def test_corrupt_spool_block_is_refused_not_served(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        journal.admit("k", "fp", _payload())
+        journal.settle("k", "completed", fingerprint="fp", result=_result())
+        # flip bytes in the spooled block file behind the manifest's back
+        blocks = [
+            p for p in (tmp_path / "results").rglob("*")
+            if p.is_file() and "manifest" not in p.name.lower()
+        ]
+        assert blocks
+        victim = max(blocks, key=lambda p: p.stat().st_size)
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        assert journal.settled_result(journal.settled_lookup("k")) is None
+
+    def test_failed_settle_records_error_and_no_result(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        journal.admit("k", "fp", _payload())
+        journal.settle("k", "failed", fingerprint="fp",
+                       error=RuntimeError("kernel exploded"))
+        settled = journal.settled_lookup("k")
+        assert settled["outcome"] == "failed"
+        assert settled["error_type"] == "RuntimeError"
+        assert "exploded" in settled["error_message"]
+        assert journal.settled_result(settled) is None
+
+    def test_settled_key_can_be_readmitted(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        journal.admit("k", "fp", _payload())
+        journal.settle("k", "failed", fingerprint="fp")
+        assert not journal.is_inflight("k")
+        # a failed key is a legitimate retry target: re-admission
+        # supersedes the settle in the per-key state
+        journal.admit("k", "fp", _payload())
+        assert journal.is_inflight("k")
+        assert journal.settled_lookup("k") is None
+
+
+class TestCrashRecovery:
+    def test_reopen_rebuilds_state_from_the_wal(self, tmp_path):
+        result = _result(3)
+        journal = RequestJournal(tmp_path)
+        journal.admit("k-done", "fp-done", _payload(1))
+        journal.settle("k-done", "completed", fingerprint="fp-done",
+                       result=result)
+        journal.admit("k-open", "fp-open", _payload(2))
+
+        reopened = RequestJournal(tmp_path)
+        assert reopened.torn_records == 0
+        assert reopened.is_inflight("k-open")
+        assert not reopened.is_inflight("k-done")
+        settled = reopened.settled_lookup("k-done")
+        assert reopened.settled_result(settled).tobytes() == result.tobytes()
+        assert [r["key"] for r in reopened.incomplete()] == ["k-open"]
+        assert dict(reopened.spooled())["fp-done"].tobytes() == result.tobytes()
+
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        journal.admit("k-1", "fp-1", _payload(1))
+        journal.admit("k-2", "fp-2", _payload(2))
+        with open(journal.wal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "admitted", "key": "k-torn", "half')  # crash
+
+        reopened = RequestJournal(tmp_path)
+        assert reopened.torn_records == 1
+        assert not reopened.is_inflight("k-torn")
+        assert [r["key"] for r in reopened.incomplete()] == ["k-1", "k-2"]
+        # the torn tail was truncated: appends extend committed history
+        reopened.admit("k-3", "fp-3", _payload(3))
+        third = RequestJournal(tmp_path)
+        assert third.torn_records == 0
+        assert [r["key"] for r in third.incomplete()] == ["k-1", "k-2", "k-3"]
+
+    def test_bind_metrics_reports_torn_records(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        journal.admit("k", "fp", _payload())
+        with open(journal.wal.path, "a", encoding="utf-8") as fh:
+            fh.write("garbage that never sealed\n")
+        metrics = ServiceMetrics()
+        reopened = RequestJournal(tmp_path)
+        reopened.bind_metrics(metrics, threading.Lock())
+        assert metrics.journal_torn_records == 1
+
+
+class TestSpoolCapacity:
+    def test_spool_prunes_oldest_beyond_capacity(self, tmp_path):
+        journal = RequestJournal(tmp_path, spool_entries=2)
+        for i in (1, 2, 3):
+            journal.admit(f"k-{i}", f"fp-{i}", _payload(i))
+            journal.settle(f"k-{i}", "completed", fingerprint=f"fp-{i}",
+                           result=_result(i))
+        spooled = dict(journal.spooled())
+        assert sorted(spooled) == ["fp-2", "fp-3"]
+        # the pruned result is unservable — callers re-run the solve
+        assert journal.settled_result(journal.settled_lookup("k-1")) is None
+        assert journal.settled_result(
+            journal.settled_lookup("k-3")
+        ).tobytes() == _result(3).tobytes()
+
+    def test_zero_capacity_spool_never_writes(self, tmp_path):
+        journal = RequestJournal(tmp_path, spool_entries=0)
+        journal.admit("k", "fp", _payload())
+        journal.settle("k", "completed", fingerprint="fp", result=_result())
+        assert journal.spooled() == []
+        assert journal.settled_result(journal.settled_lookup("k")) is None
+
+    def test_negative_capacity_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RequestJournal(tmp_path, spool_entries=-1)
+
+
+class TestCompaction:
+    def test_compact_keeps_inflight_and_serviceable_settles_only(
+        self, tmp_path
+    ):
+        result = _result(4)
+        journal = RequestJournal(tmp_path)
+        metrics = ServiceMetrics()
+        journal.bind_metrics(metrics, threading.Lock())
+        journal.admit("k-open", "fp-open", _payload(1))
+        journal.admit("k-done", "fp-done", _payload(2))
+        journal.settle("k-done", "completed", fingerprint="fp-done",
+                       result=result)
+        journal.admit("k-fail", "fp-fail", _payload(3))
+        journal.settle("k-fail", "failed", fingerprint="fp-fail")
+        journal.admit("k-stale", "fp-stale", _payload(4))
+        journal.settle("k-stale", "completed", fingerprint="fp-stale",
+                       result=_result(5))
+        journal.admit("k-stale", "fp-stale", _payload(4))  # superseded
+        journal.settle("k-stale", "failed", fingerprint="fp-stale")
+
+        total_before = len(journal.wal.entries())
+        dropped = journal.compact()
+        # kept: k-open's admission + k-done's completed settle
+        assert dropped == total_before - 2
+        assert metrics.journal_compactions == 1
+        assert metrics.journal_records_compacted == dropped
+        assert journal.is_inflight("k-open")
+        settled = journal.settled_lookup("k-done")
+        assert journal.settled_result(settled).tobytes() == result.tobytes()
+        # dropped settles are forgotten (they were unserviceable anyway)
+        assert journal.settled_lookup("k-fail") is None
+        assert journal.settled_lookup("k-stale") is None
+        # unreferenced spool blocks were pruned with their records
+        assert sorted(dict(journal.spooled())) == ["fp-done"]
+        assert journal.spool.fsck().clean
+
+    def test_compacted_journal_reopens_equivalent(self, tmp_path):
+        result = _result(6)
+        journal = RequestJournal(tmp_path)
+        journal.admit("k-open", "fp-open", _payload(1))
+        journal.admit("k-done", "fp-done", _payload(2))
+        journal.settle("k-done", "completed", fingerprint="fp-done",
+                       result=result)
+        journal.compact()
+
+        reopened = RequestJournal(tmp_path)
+        assert reopened.torn_records == 0
+        assert len(reopened.wal.entries()) == 2
+        assert [r["key"] for r in reopened.incomplete()] == ["k-open"]
+        settled = reopened.settled_lookup("k-done")
+        assert reopened.settled_result(settled).tobytes() == result.tobytes()
+
+    def test_compact_is_idempotent(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        journal.admit("k", "fp", _payload())
+        journal.settle("k", "completed", fingerprint="fp", result=_result())
+        assert journal.compact() >= 0
+        assert journal.compact() == 0

@@ -16,6 +16,8 @@ from __future__ import annotations
 import glob
 import multiprocessing
 import pickle
+import socket
+import struct
 import threading
 import time
 
@@ -32,6 +34,8 @@ from repro.service import (
     ResultCache,
     ServiceConfig,
     SolverService,
+    _recv_msg,
+    _send_msg,
     is_retryable,
     run_request_storm,
     send_request,
@@ -40,8 +44,10 @@ from repro.service import (
 from repro.sparkle import (
     CircuitOpenError,
     FaultPlan,
+    FrameTooLargeError,
     JobAborted,
     RequestDeadlineExceeded,
+    ServiceDrainingError,
     ServiceOverloadedError,
     SolveRequest,
     SparkleContext,
@@ -140,6 +146,9 @@ class TestServiceErrors:
             RequestDeadlineExceeded("late", deadline=1.5, elapsed=2.25),
             CircuitOpenError("open", backend="processes", failures=3,
                              retry_after=1.0),
+            ServiceDrainingError("draining for shutdown", retry_after=0.75),
+            FrameTooLargeError("frame too big", length=1 << 40,
+                               limit=1 << 20),
         ],
         ids=lambda e: type(e).__name__,
     )
@@ -606,6 +615,7 @@ def _assert_storm_outcomes(outcomes, references):
                 error,
                 (
                     ServiceOverloadedError,
+                    ServiceDrainingError,
                     RequestDeadlineExceeded,
                     CircuitOpenError,
                     WorkerCrashed,
@@ -811,4 +821,285 @@ class TestLifecycle:
         finally:
             gate.set()
             stopper.join(timeout=30)
+            sc.stop()
+
+
+# ---------------------------------------------------------------------------
+# socket hardening (PR 8 satellites): hostile frames, vanishing clients,
+# stale socket files
+# ---------------------------------------------------------------------------
+
+
+def _start_server(service, socket_path, **kwargs):
+    """serve_forever on a daemon thread; returns it once the socket binds."""
+    ready = threading.Event()
+    kwargs.setdefault("ready", ready)
+    server = threading.Thread(
+        target=serve_forever,
+        args=(service, socket_path),
+        kwargs=kwargs,
+        daemon=True,
+    )
+    server.start()
+    assert ready.wait(30), "server failed to bind"
+    return server
+
+
+class TestSocketHardening:
+    @pytest.mark.timeout(120)
+    def test_oversized_frame_gets_typed_refusal_and_loop_survives(
+        self, tmp_path
+    ):
+        socket_path = str(tmp_path / "solver.sock")
+        sc = _context()
+        service = SolverService(sc)
+        server = _start_server(
+            service, socket_path, max_requests=2, max_frame_bytes=1 << 16
+        )
+        try:
+            hostile = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            hostile.settimeout(30)
+            try:
+                hostile.connect(socket_path)
+                # A header announcing a petabyte: the server must refuse
+                # before reading (or allocating) a single payload byte.
+                hostile.sendall(struct.pack(">Q", 1 << 50))
+                reply = _recv_msg(hostile)
+            finally:
+                hostile.close()
+            assert reply["status"] == "error"
+            assert isinstance(reply["error"], FrameTooLargeError)
+            assert reply["error"].length == 1 << 50
+            assert reply["error"].limit == 1 << 16
+            assert reply["retryable"] is False
+            # the accept loop is still alive and serving
+            stats = send_request(socket_path, {"op": "stats"}, timeout=60)
+            assert stats["status"] == "ok"
+            assert stats["frames_rejected"] == 1
+            server.join(timeout=30)
+            assert not server.is_alive()
+        finally:
+            service.stop()
+            sc.stop()
+
+    @pytest.mark.timeout(120)
+    def test_torn_frame_is_that_connections_problem_only(self, tmp_path):
+        socket_path = str(tmp_path / "solver.sock")
+        sc = _context()
+        service = SolverService(sc)
+        server = _start_server(service, socket_path, max_requests=2)
+        try:
+            torn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            torn.connect(socket_path)
+            torn.sendall(b"\x00\x00\x00")  # 3 of 8 header bytes, then gone
+            torn.close()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                with service._metrics_lock:
+                    if service.metrics.client_disconnects:
+                        break
+                time.sleep(0.01)
+            stats = send_request(socket_path, {"op": "stats"}, timeout=60)
+            assert stats["status"] == "ok"
+            assert stats["client_disconnects"] == 1
+            server.join(timeout=30)
+            assert not server.is_alive()
+        finally:
+            service.stop()
+            sc.stop()
+
+    @pytest.mark.timeout(120)
+    def test_client_vanishing_before_reply_still_settles_the_work(
+        self, tmp_path
+    ):
+        socket_path = str(tmp_path / "solver.sock")
+        sc = _context()
+        service = SolverService(sc)
+        server = _start_server(service, socket_path, max_requests=2)
+        payload = {"problem": "apsp", "n": 24, "seed": 9, "r": 4}
+        try:
+            ghost = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            ghost.connect(socket_path)
+            _send_msg(ghost, payload)
+            ghost.close()  # gone before the reply: EPIPE on the server
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                with service._metrics_lock:
+                    if service.metrics.client_disconnects:
+                        break
+                time.sleep(0.01)
+            with service._metrics_lock:
+                assert service.metrics.client_disconnects == 1
+            # the solve itself settled and is served from cache
+            reply = send_request(
+                socket_path, {**payload, "return_result": True}, timeout=60
+            )
+            assert reply["status"] == "ok"
+            assert reply["from_cache"]
+            server.join(timeout=30)
+            assert not server.is_alive()
+        finally:
+            service.stop()
+            sc.stop()
+
+    @pytest.mark.timeout(120)
+    def test_stale_socket_file_is_reclaimed_on_next_bind(self, tmp_path):
+        socket_path = str(tmp_path / "solver.sock")
+        # simulate a SIGKILLed server: bound socket file, no listener
+        corpse = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        corpse.bind(socket_path)
+        corpse.close()
+        assert glob.glob(socket_path)  # the file survived the "crash"
+        sc = _context()
+        service = SolverService(sc)
+        server = _start_server(service, socket_path, max_requests=1)
+        try:
+            stats = send_request(socket_path, {"op": "stats"}, timeout=60)
+            assert stats["status"] == "ok"
+            assert stats["stale_sockets_reclaimed"] == 1
+            server.join(timeout=30)
+        finally:
+            service.stop()
+            sc.stop()
+        assert glob.glob(socket_path) == []  # unlinked on shutdown
+
+    @pytest.mark.timeout(120)
+    def test_live_socket_is_never_stolen(self, tmp_path):
+        socket_path = str(tmp_path / "solver.sock")
+        sc = _context()
+        service = SolverService(sc)
+        server = _start_server(service, socket_path, max_requests=1)
+        try:
+            # a second server must refuse to bind over a live listener
+            with pytest.raises(OSError, match="live service"):
+                serve_forever(service, socket_path, max_requests=1)
+            server.join(timeout=30)
+            assert not server.is_alive()
+        finally:
+            service.stop()
+            sc.stop()
+
+
+# ---------------------------------------------------------------------------
+# per-tenant accounting (PR 8 satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestTenantAccounting:
+    @pytest.mark.timeout(120)
+    def test_requests_and_cache_hits_split_by_tenant(self):
+        sc = _context()
+        service = SolverService(sc)
+        try:
+            assert service.solve(_request(0, tenant="acme"), timeout=60)
+            hit = service.solve(_request(0, tenant="acme"), timeout=60)
+            assert hit.from_cache
+            assert service.solve(_request(1, tenant="globex"), timeout=60)
+            assert service.solve(_request(2), timeout=60)  # untenanted
+            assert service.metrics.per_tenant == {
+                "acme": {"requests": 2, "sheds": 0, "cache_hits": 1},
+                "globex": {"requests": 1, "sheds": 0, "cache_hits": 0},
+            }
+            summary = service.metrics.summary()
+            assert summary["per_tenant"]["acme"]["cache_hits"] == 1
+        finally:
+            service.stop()
+            sc.stop()
+
+    @pytest.mark.timeout(120)
+    def test_sheds_are_charged_to_the_shed_tenant(self):
+        sc = _context()
+        service = SolverService(sc)
+        try:
+            service.drain()
+            with pytest.raises(ServiceDrainingError):
+                service.submit(_request(0, tenant="acme"))
+            assert service.metrics.per_tenant["acme"] == {
+                "requests": 1, "sheds": 1, "cache_hits": 0,
+            }
+        finally:
+            service.stop()
+            sc.stop()
+
+
+# ---------------------------------------------------------------------------
+# graceful drain (PR 8 tentpole): typed shedding, in-flight work lands
+# ---------------------------------------------------------------------------
+
+
+class TestDrain:
+    @pytest.mark.timeout(120)
+    def test_drain_sheds_typed_while_inflight_work_lands(self):
+        sc = _context()
+        gate = threading.Event()
+        service = SolverService(sc)
+        original = service._solve
+        service._solve = lambda req, offload: (
+            gate.wait(60),
+            original(req, offload),
+        )[1]
+        try:
+            running = service.submit(_request(seed=0))
+            assert not service.draining
+            service.drain()
+            service.drain()  # idempotent
+            assert service.draining
+            with pytest.raises(ServiceDrainingError) as excinfo:
+                service.submit(_request(seed=1))
+            assert excinfo.value.retry_after == service.config.drain_retry_after
+            assert is_retryable(excinfo.value)
+            assert service.metrics.draining_sheds == 1
+            gate.set()
+            assert running.result(60)  # drain never cancels in-flight work
+        finally:
+            gate.set()
+            service.stop()
+            sc.stop()
+
+    @pytest.mark.chaos
+    @pytest.mark.timeout(300)
+    def test_storm_with_seeded_driver_kill_twist_drains_midflight(self):
+        # seed=13 fires driver_kill first at (client=1, seq=1): the hook
+        # drains the service mid-storm, so that client's own request —
+        # and every later submission — sheds with the typed draining
+        # error while already-admitted flights run to settlement.
+        plan = FaultPlan.from_string("seed=13,driver_kill=0.25")
+        sc = _context()
+        service = SolverService(sc, config=ServiceConfig(max_queue_depth=32))
+        tables = {seed: _table(24, seed) for seed in (0, 1)}
+        references = {}
+        for seed, table in tables.items():
+            request = SolveRequest(spec=SPEC, table=table, r=6, kernel=KERNEL)
+            references[request.fingerprint()] = _reference(seed)
+
+        def make_request(client, seq):
+            return SolveRequest(
+                spec=SPEC,
+                table=tables[seq % 2],
+                r=6,
+                kernel=KERNEL,
+                client=f"client-{client}",
+            )
+
+        try:
+            outcomes = run_request_storm(
+                service,
+                make_request,
+                clients=8,
+                requests_per_client=3,
+                plan=plan,
+                timeout=120.0,
+                on_driver_kill=lambda client, seq: service.drain(),
+            )
+            _assert_storm_outcomes(outcomes, references)
+            drained = [
+                r for r in outcomes
+                if not r["ok"] and isinstance(r["error"], ServiceDrainingError)
+            ]
+            assert drained, "seeded driver_kill twist never shed a request"
+            assert all(r["retryable"] for r in drained)
+            assert plan.fired().get("driver_kill", 0) >= 1
+            assert service.metrics.draining_sheds == len(drained)
+        finally:
+            service.stop()
             sc.stop()
