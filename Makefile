@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test tier1 robustness supervision batching service soak perf smoke bench bench-gate
+.PHONY: test tier1 robustness supervision batching service soak perf pipeline smoke bench bench-gate
 
 # full suite
 test:
@@ -43,9 +43,15 @@ soak:
 perf:
 	$(PYTEST) -q -m perf
 
+# wavefront pipelining: dependence-driven stage admission, pipelined vs
+# barrier differentials (all strategies, chaos, crash-resume), overlap
+# metrics
+pipeline:
+	$(PYTEST) -q -m pipeline
+
 # robustness gate: tier-1, then chaos/durability/memory/service, then
-# perf gates
-smoke: tier1 robustness batching service perf
+# pipelining, then perf gates
+smoke: tier1 robustness batching service pipeline perf
 
 # tier-2 dispatch bench gate: fail unless batched dispatch cuts IPC
 # round-trips >= 10x without a wall-clock regression (the wall claim

@@ -127,6 +127,12 @@ def _cmd_solve(args) -> int:
     if args.affinity == "off" and args.backend != "processes":
         print("--affinity off requires --backend processes", file=sys.stderr)
         return 2
+    if args.pipeline_depth < 1:
+        print("--pipeline-depth must be >= 1", file=sys.stderr)
+        return 2
+    if args.pipeline_depth > 1 and args.engine != "spark":
+        print("--pipeline-depth requires --engine spark", file=sys.stderr)
+        return 2
 
     table = _load_or_generate(args)
     kw = dict(
@@ -156,6 +162,7 @@ def _cmd_solve(args) -> int:
             dispatch=args.dispatch,
             gang_stages=args.gang_stages,
             affinity=args.affinity != "off",
+            pipeline_depth=args.pipeline_depth,
             **ctx_supervision_kw,
         )
         if args.engine == "spark"
@@ -211,6 +218,8 @@ def _cmd_solve(args) -> int:
                 print("chaos:", fault_plan.describe(),
                       "| injected:", fault_plan.fired())
                 print("recovery:", report.engine_metrics.recovery_summary())
+            if args.pipeline_depth > 1:
+                print("pipeline:", report.engine_metrics.pipeline_summary())
             if args.backend == "processes":
                 print("data plane:", report.engine_metrics.data_plane_summary())
                 print("dispatch:", report.engine_metrics.dispatch_summary())
@@ -419,11 +428,15 @@ def _cmd_serve(args) -> int:
     if args.resume and not args.journal_dir:
         print("--resume requires --journal-dir", file=sys.stderr)
         return 2
+    if args.pipeline_depth < 1:
+        print("--pipeline-depth must be >= 1", file=sys.stderr)
+        return 2
     sc = SparkleContext(
         num_executors=args.executors,
         cores_per_executor=args.cores,
         backend=args.backend,
         memory_budget_bytes=args.memory_budget,
+        pipeline_depth=args.pipeline_depth,
     )
     config = ServiceConfig(
         max_queue_depth=args.max_queue_depth,
@@ -501,9 +514,12 @@ def _cmd_request(args) -> int:
         return 1
     if args.stats:
         per_tenant = reply.pop("per_tenant", {}) or {}
+        pipeline = reply.pop("pipeline", {}) or {}
         for key, value in sorted(reply.items()):
             if key != "status":
                 print(f"{key:28s} {value}")
+        for key, value in sorted(pipeline.items()):
+            print(f"pipeline.{key:19s} {value}")
         for tenant, counters in sorted(per_tenant.items()):
             print(f"tenant {tenant:20s} requests={counters['requests']} "
                   f"sheds={counters['sheds']} "
@@ -606,6 +622,13 @@ def main(argv: list[str] | None = None) -> int:
              "routing each tile to the worker whose shared-memory slab "
              "already holds it (default on)")
     solve.add_argument(
+        "--pipeline-depth", dest="pipeline_depth", type=int, default=1,
+        metavar="N",
+        help="wavefront pipelining for the spark engine: overlap up to N "
+             "outer iterations under the derived tile-level dependence "
+             "relation (bit-identical results; default 1 = strict "
+             "per-iteration barriers)")
+    solve.add_argument(
         "--checkpoint-dir", metavar="DIR", default=None,
         help="durable checkpoint/journal directory for the spark engine: "
              "every completed outer iteration is snapshotted (checksummed, "
@@ -703,6 +726,10 @@ def main(argv: list[str] | None = None) -> int:
                        default=None, metavar="BYTES",
                        help="unified engine memory budget; also gates "
                             "request admission (critical pressure sheds)")
+    serve.add_argument("--pipeline-depth", dest="pipeline_depth", type=int,
+                       default=1, metavar="N",
+                       help="wavefront pipelining depth for the service "
+                            "engine (default 1 = strict barriers)")
     serve.add_argument("--max-queue-depth", dest="max_queue_depth", type=int,
                        default=16,
                        help="bounded request queue; overflow is shed with a "

@@ -55,6 +55,7 @@ def run_gep(
     dispatch: str = "tile",
     gang_stages: bool = False,
     affinity: bool = True,
+    pipeline_depth: int = 1,
 ) -> tuple[np.ndarray, SolveReport | None]:
     """Run one GEP computation; returns ``(result, report_or_None)``.
 
@@ -85,6 +86,11 @@ def run_gep(
     across the whole worker pool as a barrier gang with all-or-nothing
     retry, and ``affinity=False`` disables tile-affinity routing.
     Pass a pre-configured ``sc`` otherwise.
+
+    ``pipeline_depth`` (spark engine, owned context) arms wavefront
+    pipelining: ``>= 2`` overlaps that many outer iterations under the
+    derived tile-level dependence relation (DESIGN.md §17), with
+    bit-identical results.  ``1`` keeps strict per-iteration barriers.
     """
     table = np.asarray(table)
     if engine != "spark" and (checkpoint_dir is not None or resume):
@@ -140,6 +146,16 @@ def run_gep(
             "dispatch options apply to an owned context; construct the "
             "SparkleContext with dispatch/gang_stages/affinity instead"
         )
+    if pipeline_depth != 1:
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if engine != "spark":
+            raise ValueError("pipeline_depth requires engine='spark'")
+        if sc is not None:
+            raise ValueError(
+                "pipeline_depth applies to an owned context; construct the "
+                "SparkleContext with pipeline_depth instead"
+            )
     if engine == "reference":
         return gep_reference_vectorized(spec, table), None
 
@@ -177,6 +193,7 @@ def run_gep(
                 dispatch=dispatch,
                 gang_stages=gang_stages,
                 affinity=affinity,
+                pipeline_depth=pipeline_depth,
                 **ctx_kw,
             )
         elif checkpoint_dir is not None:
@@ -245,6 +262,7 @@ class GepRunOptions(dict):
             "dispatch",
             "gang_stages",
             "affinity",
+            "pipeline_depth",
         }
     )
 

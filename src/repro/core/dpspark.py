@@ -50,6 +50,7 @@ that down.
 from __future__ import annotations
 
 import pickle
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -322,6 +323,8 @@ class GepSparkSolver:
 
         if table.ndim != 2 or table.shape[0] != table.shape[1]:
             raise ValueError("GEP requires a square table")
+        if getattr(self.sc, "pipeline_depth", 1) > 1:
+            return self._pipelined_solve(table)
         start = time.perf_counter()
         # Tile placements are scoped to one solve: a context reused for
         # several solves must not route this grid by a previous grid's
@@ -345,7 +348,7 @@ class GepSparkSolver:
         start_k = 0
         resumed_from: int | None = None
         if journal is not None and self.resume and journal.exists:
-            restored = self._try_resume(journal, store, fingerprint, nt)
+            restored = self._resume_rdd(journal, store, fingerprint, nt)
             if restored is not None:
                 dp, start_k, resumed_from = restored
         if dp is None:
@@ -489,6 +492,413 @@ class GepSparkSolver:
         return result, report
 
     # ------------------------------------------------------------------
+    # wavefront pipeline (DESIGN.md §17): dependence-admitted iterations
+    # ------------------------------------------------------------------
+    def _pipelined_solve(self, table: np.ndarray) -> tuple[np.ndarray, SolveReport]:
+        """Overlapped outer iterations under the derived tile relation.
+
+        Tiles are keyed ``(level, i, j)`` in a
+        :class:`~repro.sparkle.pipeline.TileTracker`, where ``level`` is
+        the tile's *version*: its value after iterations ``< level``.
+        Each iteration's A/B‖C/D waves are admitted per-tile the moment
+        their gates settle (gates derived from
+        :func:`~repro.poly.dependence.iteration_read_versions`, the same
+        Bernstein machinery that schedules the barrier mode), so
+        iteration ``k+1``'s pivot generation runs while ``k``'s trailing
+        D wave is still in flight — bounded by ``sc.pipeline_depth``
+        unsealed iterations.  The journal seals iteration ``k`` (snapshot
+        blocks, then the commit record — the PR 2 protocol, on the driver
+        thread, in ``k`` order) only once all of ``k``'s tiles settled,
+        so resume correctness is unchanged.  Results are bit-identical to
+        barrier mode: the kernels, operand versions, and retry-purity
+        contract are all the same — only admission timing moves.
+        """
+        import time
+
+        from ..poly.dependence import iteration_read_versions
+        from ..sparkle.pipeline import TileTracker
+
+        start = time.perf_counter()
+        sc = self.sc
+        depth = sc.pipeline_depth
+        sc._executors.backend.reset_affinity()
+        n = table.shape[0]
+        bounds = grid_bounds(n, self.r)
+        nt = len(bounds) - 1
+        store = sc.durable_store
+        journal = SolveJournal(store.root) if store is not None else None
+        fingerprint = self._fingerprint(table, n, nt) if journal is not None else None
+        metrics = sc.metrics
+        sched = sc._scheduler
+
+        def active(k: int) -> bool:
+            return any(
+                self.spec.k_active(g, n) for g in range(bounds[k], bounds[k + 1])
+            )
+
+        tiles0 = None
+        start_k = 0
+        resumed_from: int | None = None
+        if journal is not None and self.resume and journal.exists:
+            restored = self._try_resume(journal, store, fingerprint, nt)
+            if restored is not None:
+                tiles0, start_k, resumed_from = restored
+        if tiles0 is None:
+            if journal is not None:
+                journal.reset()
+                journal.append(
+                    {
+                        "kind": "begin",
+                        "fingerprint": fingerprint,
+                        "spec": self.spec.name,
+                        "strategy": self.strategy,
+                        "n": n,
+                        "r": self.r,
+                        "nt": nt,
+                    }
+                )
+                metrics.journal_appends += 1
+            tiles0 = [
+                (
+                    (i, j),
+                    np.ascontiguousarray(
+                        table[bounds[i] : bounds[i + 1], bounds[j] : bounds[j + 1]],
+                        dtype=self.spec.dtype,
+                    ),
+                )
+                for i in range(nt)
+                for j in range(nt)
+            ]
+
+        tracker = TileTracker()
+        for (i, j), tile in tiles0:
+            tracker.settle((start_k, i, j), tile)
+
+        self._kept_snapshots = [resumed_from] if resumed_from is not None else []
+        self._bcast_lock = threading.Lock()
+        all_keys = [(i, j) for i in range(nt) for j in range(nt)]
+        mm = getattr(sc, "memory_manager", None)
+        sup = getattr(sc, "supervisor", None)
+        plan = sc.fault_plan
+        active_strategy = self.strategy
+        degraded_at: int | None = None
+        backend_degraded_at: int | None = None
+        completed = 0
+        partial = False
+        submitted: list[int] = []  # active iterations in flight, unsealed
+        stop_level = nt
+
+        def seal(k: int) -> None:
+            """Driver-side commit of iteration ``k`` once it fully settles."""
+            nonlocal completed
+            tracker.wait_all([(k + 1, i, j) for (i, j) in all_keys])
+            if journal is not None:
+                for (i, j) in all_keys:
+                    store.put(("snap", k, i, j), tracker.get((k + 1, i, j)))
+                journal.append({"kind": "iteration", "k": k})
+                metrics.journal_appends += 1
+                self._kept_snapshots.append(k)
+                while len(self._kept_snapshots) > 2:
+                    old = self._kept_snapshots.pop(0)
+                    for i in range(nt):
+                        for j in range(nt):
+                            store.delete(("snap", old, i, j))
+            if self.on_iteration is not None:
+                self.on_iteration(k)
+            completed += 1
+            # Levels <= k can no longer be read: iteration k's tasks are
+            # all done and k+1 reads versions >= k+1.  Bounds live tiles
+            # to the lookahead window.
+            tracker.prune_below(k + 1)
+
+        try:
+            for k in range(start_k, nt):
+                if not active(k):
+                    for key in all_keys:
+                        tracker.forward((k,) + key, (k + 1,) + key)
+                    continue
+                while len(submitted) >= depth:
+                    seal(submitted.pop(0))
+                if (
+                    self.degrade_on_crash
+                    and sup is not None
+                    and not self._offload_disabled
+                    and sup.degrade_pending()
+                ):
+                    self._offload_disabled = True
+                    backend_degraded_at = k
+                    metrics.backend_degradations += 1
+                if mm is not None and plan is not None:
+                    factor = plan.mem_squeeze(k)
+                    if factor < 1.0:
+                        mm.squeeze(factor)
+                if (
+                    self.degrade_on_pressure
+                    and mm is not None
+                    and active_strategy == "im"
+                    and mm.critical_since_last_check()
+                ):
+                    # Pipelined IM stages operands through the tracker,
+                    # not the shuffle, so the degrade keeps its meaning
+                    # as "stop coupling operands through governed pools":
+                    # remaining iterations switch to CB shared storage.
+                    active_strategy = "cb"
+                    degraded_at = k
+                    metrics.strategy_degradations += 1
+                self._submit_pipelined_iteration(
+                    k, bounds, nt, n, tracker, active_strategy
+                )
+                submitted.append(k)
+                metrics.pipeline_iterations += 1
+                metrics.pipeline_depth_achieved = max(
+                    metrics.pipeline_depth_achieved, len(submitted)
+                )
+                if (
+                    self.max_iterations is not None
+                    and completed + len(submitted) >= self.max_iterations
+                ):
+                    partial = any(active(kk) for kk in range(k + 1, nt))
+                    stop_level = k + 1
+                    break
+            while submitted:
+                seal(submitted.pop(0))
+            tracker.wait_all([(stop_level, i, j) for (i, j) in all_keys])
+        except BaseException as exc:
+            tracker.abort(exc)
+            sched.pipeline_drain()
+            raise
+        sched.pipeline_drain()
+
+        out = np.empty((n, n), dtype=self.spec.dtype)
+        for (i, j) in all_keys:
+            tile = tracker.get((stop_level, i, j))
+            out[bounds[i] : bounds[i + 1], bounds[j] : bounds[j + 1]] = tile
+        if journal is not None and not partial:
+            journal.append({"kind": "done"})
+            metrics.journal_appends += 1
+        report = SolveReport(
+            spec_name=self.spec.name,
+            strategy=self.strategy,
+            n=n,
+            r=self.r,
+            kernel=self.kernel.describe(),
+            num_partitions=self.num_partitions,
+            engine_metrics=metrics,
+            kernel_stats=self.stats,
+            wall_seconds=time.perf_counter() - start,
+        )
+        report.extras["pipeline"] = {
+            "depth": depth,
+            "depth_achieved": metrics.pipeline_depth_achieved,
+            "iterations": metrics.pipeline_iterations,
+            "waves": metrics.pipeline_waves,
+        }
+        if partial:
+            report.extras["partial"] = {
+                "iterations_completed": completed,
+                "grid_iterations": nt,
+            }
+        if resumed_from is not None:
+            report.extras["resumed_from_iteration"] = resumed_from
+        if degraded_at is not None:
+            report.extras["degraded"] = {
+                "from": "im",
+                "to": "cb",
+                "at_iteration": degraded_at,
+            }
+        if backend_degraded_at is not None:
+            report.extras["backend_degradations"] = [
+                {
+                    "from": "processes",
+                    "to": "threads",
+                    "at_iteration": backend_degraded_at,
+                    "quarantined_tasks": (
+                        len(sup.quarantined()) if sup is not None else 0
+                    ),
+                }
+            ]
+        if mm is not None:
+            report.extras["memory_budget"] = mm.usage()
+        if plan is not None:
+            report.extras["chaos"] = plan.describe()
+            report.extras["faults_injected"] = plan.fired()
+        return out, report
+
+    def _submit_pipelined_iteration(
+        self, k: int, bounds: list[int], nt: int, n: int, tracker, strategy: str
+    ) -> None:
+        """Register iteration ``k``'s A, B‖C, and D waves with the tracker.
+
+        Gates come from the derived per-point read versions: a pre-read
+        of tile ``t`` gates on ``(k, t)``, a post-read on ``(k+1, t)``.
+        Operand *staging* differs per strategy (tracker refs for IM,
+        shared storage for CB, broadcast variables for bcast) but the
+        gate structure — and therefore legality — is identical, because
+        staging happens in ``on_result`` before the producing tile
+        settles.
+        """
+        from ..poly.dependence import iteration_read_versions
+
+        sc = self.sc
+        sched = sc._scheduler
+        spec, part = self.spec, self.partitioner
+        storage = sc.shared_storage
+        bs = b_range(spec, k, nt)
+        cs = c_range(spec, k, nt)
+        b_keys = frozenset((k, j) for j in bs)
+        c_keys = frozenset((i, k) for i in cs)
+        d_keys = frozenset((i, j) for i in cs for j in bs)
+        gk0 = bounds[k]
+        needs_w = spec.needs_w
+        versions = {
+            va.point: va for va in iteration_read_versions(spec, k, nt)
+        }
+        trace = sc.metrics.new_job(f"pipeline_k{k}")
+        batch = self._run_tile_batch
+        # bcast staging boxes, filled under the lock in on_result before
+        # the produced tiles settle (so gated readers always find them).
+        pivot_box: dict[str, Any] = {}
+        band_box: dict[tuple[int, int], Any] = {}
+
+        def gates_for(key: tuple[int, int]) -> list[tuple[int, int, int]]:
+            va = versions[(k,) + key]
+            return sorted((k,) + t for t in va.pre_reads) + sorted(
+                (k + 1,) + t for t in va.post_reads
+            )
+
+        def pivot_operand():
+            if strategy == "im":
+                return tracker.get((k + 1, k, k))
+            if strategy == "cb":
+                return storage.get(("pivot", k))
+            return pivot_box["bc"].value
+
+        def band_operand(key: tuple[int, int]):
+            if strategy == "im":
+                return tracker.get((k + 1,) + key)
+            if strategy == "cb":
+                return storage.get(("bc", k, key))
+            return band_box[key].value
+
+        # ---- wave 1: kernel A on the pivot tile --------------------------
+        def a_body(tc):
+            x_in = tracker.get((k, k, k))
+            return self._updated_tile(
+                "A", x_in, ALIAS_X, ALIAS_X, ALIAS_X, gk0, gk0, gk0, n
+            )
+
+        def a_result(x):
+            if strategy == "cb":
+                storage.put(("pivot", k), x)
+            elif strategy == "bcast":
+                with self._bcast_lock:
+                    pivot_box["bc"] = sc.broadcast(x)
+            tracker.settle((k + 1, k, k), x)
+
+        sched.submit_wave(
+            trace,
+            "A",
+            [(part.partition((k, k)), gates_for((k, k)), a_body, a_result)],
+            tracker,
+        )
+
+        # ---- wave 2: kernels B and C, grouped by home partition ----------
+        bc_groups: dict[int, list[tuple[int, int]]] = {}
+        for key in [(k, j) for j in bs] + [(i, k) for i in cs]:
+            bc_groups.setdefault(part.partition(key), []).append(key)
+
+        def make_bc_task(p: int, keys: list[tuple[int, int]]):
+            gates: list = []
+            seen: set = set()
+            for key in keys:
+                for g in gates_for(key):
+                    if g not in seen:
+                        seen.add(g)
+                        gates.append(g)
+
+            def body(tc):
+                calls = []
+                for i, j in keys:
+                    x_in = tracker.get((k, i, j))
+                    pivot = pivot_operand()
+                    if i == k:
+                        calls.append(
+                            ("B", x_in, pivot, ALIAS_X, pivot, gk0, bounds[j], gk0, n)
+                        )
+                    else:
+                        calls.append(
+                            ("C", x_in, ALIAS_X, pivot, pivot, bounds[i], gk0, gk0, n)
+                        )
+                return batch(calls)
+
+            def on_result(outs):
+                if strategy == "cb":
+                    for key, x in zip(keys, outs):
+                        storage.put(("bc", k, key), x)
+                elif strategy == "bcast":
+                    with self._bcast_lock:
+                        for key, x in zip(keys, outs):
+                            band_box[key] = sc.broadcast(x)
+                for key, x in zip(keys, outs):
+                    tracker.settle((k + 1,) + key, x)
+
+            return (p, gates, body, on_result)
+
+        if bc_groups:
+            sched.submit_wave(
+                trace,
+                "BC",
+                [make_bc_task(p, bc_groups[p]) for p in sorted(bc_groups)],
+                tracker,
+            )
+
+        # ---- wave 3: kernels D, grouped by home partition ----------------
+        d_groups: dict[int, list[tuple[int, int]]] = {}
+        for i in cs:
+            for j in bs:
+                key = (i, j)
+                d_groups.setdefault(part.partition(key), []).append(key)
+
+        def make_d_task(p: int, keys: list[tuple[int, int]]):
+            gates: list = []
+            seen: set = set()
+            for key in keys:
+                for g in gates_for(key):
+                    if g not in seen:
+                        seen.add(g)
+                        gates.append(g)
+
+            def body(tc):
+                calls = []
+                for i, j in keys:
+                    x_in = tracker.get((k, i, j))
+                    u = band_operand((i, k))
+                    v = band_operand((k, j))
+                    w = pivot_operand() if needs_w else None
+                    calls.append(("D", x_in, u, v, w, bounds[i], bounds[j], gk0, n))
+                return batch(calls)
+
+            def on_result(outs):
+                for key, x in zip(keys, outs):
+                    tracker.settle((k + 1,) + key, x)
+
+            return (p, gates, body, on_result)
+
+        if d_groups:
+            sched.submit_wave(
+                trace,
+                "D",
+                [make_d_task(p, d_groups[p]) for p in sorted(d_groups)],
+                tracker,
+            )
+
+        # ---- untouched tiles forward to the next version unchanged -------
+        touched = {(k, k)} | b_keys | c_keys | d_keys
+        for key in [(i, j) for i in range(nt) for j in range(nt)]:
+            if key not in touched:
+                tracker.forward((k,) + key, (k + 1,) + key)
+
+    # ------------------------------------------------------------------
     # durability: write-ahead journal + snapshot/restore
     # ------------------------------------------------------------------
     def _fingerprint(self, table: np.ndarray, n: int, nt: int) -> str:
@@ -537,7 +947,7 @@ class GepSparkSolver:
         return CheckpointedRDD(self.sc, parts, dp.partitioner)
 
     def _try_resume(self, journal, store, fingerprint: str, nt: int):
-        """Restore ``(dp, start_k, resumed_from)`` from the journal.
+        """Restore ``(tiles, start_k, resumed_from)`` from the journal.
 
         Walks journaled iterations newest-first and restores the first
         snapshot whose blocks all pass their checksums — a corrupt or
@@ -568,12 +978,20 @@ class GepSparkSolver:
                         tiles.append(((i, j), store.get(("snap", k, i, j))))
             except (BlockNotFoundError, CorruptBlockError):
                 continue
-            dp = self.sc.parallelize(tiles, self.num_partitions).partitionBy(
-                partitioner=self.partitioner
-            )
             metrics.resumed_from_iteration = k
-            return dp, k + 1, k
+            return tiles, k + 1, k
         return None
+
+    def _resume_rdd(self, journal, store, fingerprint: str, nt: int):
+        """RDD-path resume: restored tiles re-parallelized (barrier mode)."""
+        restored = self._try_resume(journal, store, fingerprint, nt)
+        if restored is None:
+            return None
+        tiles, start_k, resumed_from = restored
+        dp = self.sc.parallelize(tiles, self.num_partitions).partitionBy(
+            partitioner=self.partitioner
+        )
+        return dp, start_k, resumed_from
 
     # ------------------------------------------------------------------
     # setup / teardown

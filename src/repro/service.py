@@ -1730,7 +1730,11 @@ def _handle_conn(
             return
         try:
             if payload.get("op") == "stats":
-                _send_msg(conn, {"status": "ok", **service.metrics.summary()})
+                _send_msg(conn, {
+                    "status": "ok",
+                    **service.metrics.summary(),
+                    "pipeline": service.sc.metrics.pipeline_summary(),
+                })
                 return
             request = _build_request(payload)
             response = service.solve(

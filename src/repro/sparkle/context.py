@@ -135,6 +135,13 @@ class SparkleContext:
         whose arena slab already holds it (Spark preferred locations in
         miniature), with graceful rebalance on quarantine/respawn.
         Metered as ``affinity_hits``/``affinity_misses``.
+    pipeline_depth:
+        Wavefront pipelining lookahead (DESIGN.md §17): how many outer
+        GEP iterations may be in flight at once.  ``1`` (default) keeps
+        today's strict per-iteration barriers; ``>= 2`` lets the solver
+        admit iteration ``k+1``'s stages as soon as their tile-level
+        dependence gates settle, overlapping them with iteration ``k``'s
+        trailing D wave.  Results stay bit-identical.
     """
 
     def __init__(
@@ -163,6 +170,7 @@ class SparkleContext:
         dispatch: str = "tile",
         gang_stages: bool = False,
         affinity: bool = True,
+        pipeline_depth: int = 1,
     ) -> None:
         self.num_executors = num_executors
         self.cores_per_executor = cores_per_executor
@@ -183,12 +191,16 @@ class SparkleContext:
             )
         if gang_stages and dispatch != "batch":
             raise ValueError("gang_stages requires dispatch='batch'")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        self.pipeline_depth = pipeline_depth
         self.backend = backend
         self.dispatch = dispatch
         self.gang_stages = gang_stages
         self.affinity = affinity
         self.metrics = EngineMetrics()
         self.metrics.backend = backend
+        self.metrics.pipeline_depth = pipeline_depth
         self.failure_injector = failure_injector
         self.fault_plan = fault_plan
         self.supervision = SupervisionConfig(
@@ -364,6 +376,7 @@ class SparkleContext:
     # ------------------------------------------------------------------
     def stop(self) -> None:
         if not self._stopped:
+            self._scheduler.close()
             self._executors.shutdown()
             if self._spill_tmpdir is not None:
                 shutil.rmtree(self._spill_tmpdir, ignore_errors=True)

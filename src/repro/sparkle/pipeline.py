@@ -1,0 +1,126 @@
+"""Per-tile readiness tracking for the wavefront pipeline (DESIGN.md §17).
+
+The pipelined solve path keys every tile by ``(level, i, j)`` where
+``level`` is its *version*: the value the tile carries after all outer
+iterations ``< level`` have been applied.  A :class:`TileTracker` holds
+the settled versions and fires registered callbacks the moment the last
+gate of a pending stage settles — so admission is dependence-driven
+(callbacks launch tasks) rather than barrier-driven, and nothing ever
+blocks inside an executor slot waiting for a tile.
+
+Thread-safety contract:
+
+- ``settle`` / ``when`` / ``forward`` may be called from any thread;
+  callbacks run *outside* the tracker lock, on the thread that settled
+  the final gate (or on the registering thread if already satisfied),
+  in registration order when one settle releases several waiters.
+- ``abort`` latches the first error; subsequent ``settle`` calls become
+  no-ops, pending callbacks are dropped, and every ``wait_all`` raises
+  the original exception — so typed errors (deadlines, poison tasks)
+  surface unchanged on the driver.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable, Iterable
+
+__all__ = ["TileTracker"]
+
+
+class _Waiter:
+    __slots__ = ("seq", "remaining", "callback")
+
+    def __init__(self, seq: int, remaining: set, callback: Callable[[], None]) -> None:
+        self.seq = seq
+        self.remaining = remaining
+        self.callback = callback
+
+
+class TileTracker:
+    """Settle-able per-tile readiness map with callback admission."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._values: dict[Hashable, Any] = {}
+        self._waiters: dict[Hashable, list[_Waiter]] = {}
+        self._error: BaseException | None = None
+        self._seq = 0
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+    def settle(self, key: Hashable, value: Any) -> None:
+        """Publish ``value`` for ``key`` and fire any now-ready waiters."""
+        fire: list[_Waiter] = []
+        with self._cond:
+            if self._error is not None:
+                return
+            if key in self._values:
+                raise RuntimeError(f"tile {key!r} settled twice")
+            self._values[key] = value
+            for waiter in self._waiters.pop(key, ()):
+                waiter.remaining.discard(key)
+                if not waiter.remaining:
+                    fire.append(waiter)
+            self._cond.notify_all()
+        for waiter in sorted(fire, key=lambda w: w.seq):
+            waiter.callback()
+
+    def get(self, key: Hashable) -> Any:
+        with self._cond:
+            try:
+                return self._values[key]
+            except KeyError:
+                if self._error is not None:
+                    raise self._error from None
+                raise
+
+    def when(self, keys: Iterable[Hashable], callback: Callable[[], None]) -> None:
+        """Run ``callback`` once every key has settled (maybe immediately)."""
+        with self._cond:
+            if self._error is not None:
+                return
+            remaining = {k for k in keys if k not in self._values}
+            if remaining:
+                waiter = _Waiter(self._seq, remaining, callback)
+                self._seq += 1
+                for key in remaining:
+                    self._waiters.setdefault(key, []).append(waiter)
+                return
+        callback()
+
+    def forward(self, src: Hashable, dst: Hashable) -> None:
+        """Propagate an untouched tile to the next version unchanged."""
+        self.when([src], lambda: self.settle(dst, self.get(src)))
+
+    def wait_all(self, keys: Iterable[Hashable], timeout: float | None = None) -> None:
+        """Block until every key settles; re-raise any latched abort."""
+        keys = list(keys)
+        with self._cond:
+            while True:
+                if self._error is not None:
+                    raise self._error
+                if all(k in self._values for k in keys):
+                    return
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"tiles never settled: "
+                        f"{[k for k in keys if k not in self._values][:4]!r}"
+                    )
+
+    def abort(self, exc: BaseException) -> None:
+        """Latch the first failure, drop pending waiters, wake sleepers."""
+        with self._cond:
+            if self._error is None:
+                self._error = exc
+            self._waiters.clear()
+            self._cond.notify_all()
+
+    def prune_below(self, level: int) -> None:
+        """Drop settled versions older than ``level`` to bound memory."""
+        with self._cond:
+            stale = [k for k in self._values if isinstance(k, tuple) and k[0] < level]
+            for key in stale:
+                del self._values[key]

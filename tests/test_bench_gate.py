@@ -128,3 +128,94 @@ def test_gate_no_wall_clock_regression():
         f"PASS: batch {batch_wall:.2f}s vs tile {tile_wall:.2f}s "
         f"(limit {MAX_WALL_REGRESSION:.0%}, {cores} cores)"
     )
+
+
+# ----------------------------------------------------------------------
+# wavefront pipelining gate: barrier-wait reduction at bench scale
+# ----------------------------------------------------------------------
+MIN_BARRIER_WAIT_REDUCTION = 0.30
+
+_PIPELINE_RESULTS: dict[int, dict] = {}
+
+
+def _measure_pipelined():
+    """The bench configuration (4 executors x 2 cores, threads) at gate
+    scale, once per pipeline depth, cached across the gate's tests."""
+    if _PIPELINE_RESULTS:
+        return _PIPELINE_RESULTS
+    spec = FloydWarshallGep()
+    table = fw_table(GATE_N, seed=0)
+    for depth in (1, 2):
+        with SparkleContext(4, 2, pipeline_depth=depth) as sc:
+            solver = GepSparkSolver(
+                spec,
+                sc,
+                r=GATE_R,
+                kernel=make_kernel(spec, "iterative"),
+                strategy="im",
+            )
+            t0 = time.perf_counter()
+            out, _ = solver.solve(table.copy())
+            wall = time.perf_counter() - t0
+            _PIPELINE_RESULTS[depth] = {
+                "out": out,
+                "wall": wall,
+                **sc.metrics.pipeline_summary(),
+            }
+    return _PIPELINE_RESULTS
+
+
+def _record_pipeline_gate(status: str) -> None:
+    """Write the barrier-wait gate outcome into ``BENCH_engine.json``
+    (``pipeline.barrier_wait_gate``) — same honesty contract as
+    :func:`_record_wall_gate`: a skip must be auditable, not silent."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    try:
+        report = json.loads(path.read_text()) if path.exists() else {}
+    except (OSError, json.JSONDecodeError):
+        report = {}
+    report.setdefault("pipeline", {})["barrier_wait_gate"] = status
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+@pytest.mark.pipeline
+def test_gate_pipelining_overlaps_and_stays_bit_identical():
+    """Host-independent half of the pipelining claim: depth 2 really
+    overlaps stage windows (counter, not wall-clock) and never changes
+    the answer."""
+    res = _measure_pipelined()
+    assert np.array_equal(res[1]["out"], res[2]["out"])
+    assert res[1]["overlapped_stages"] == 0, "barrier mode must not overlap"
+    assert res[2]["overlapped_stages"] > 0
+    assert res[2]["pipeline_depth_achieved"] >= 2
+
+
+@pytest.mark.pipeline
+def test_gate_barrier_wait_reduction():
+    """Timing half: depth 2 must cut per-stage idle executor-seconds by
+    >= 30% at bench scale.  The interval accounting is wall-clock-based,
+    so on a single-core host it measures OS scheduling noise, not
+    overlap — skip with a recorded reason, exactly like the wall gate."""
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        reason = (
+            f"SKIPPED: <2 cores (host has {cores}; barrier-wait intervals "
+            "are wall-clock spans, which a single core cannot overlap "
+            "deterministically)"
+        )
+        _record_pipeline_gate(reason)
+        pytest.skip(reason)
+    res = _measure_pipelined()
+    barrier = res[1]["barrier_wait_seconds"]
+    piped = res[2]["barrier_wait_seconds"]
+    assert barrier > 0, "gate workload produced no measurable stage tail"
+    reduction = 1.0 - piped / barrier
+    assert reduction >= MIN_BARRIER_WAIT_REDUCTION, (
+        f"pipelining only cut barrier wait {reduction:.0%} "
+        f"({barrier:.3f}s -> {piped:.3f}s); the gate requires "
+        f">= {MIN_BARRIER_WAIT_REDUCTION:.0%}"
+    )
+    _record_pipeline_gate(
+        f"PASS: {reduction:.0%} reduction ({barrier:.3f}s -> {piped:.3f}s, "
+        f"{cores} cores)"
+    )
