@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test tier1 robustness supervision batching service soak perf pipeline smoke bench bench-gate
+.PHONY: test tier1 robustness supervision batching service soak perf pipeline tenancy smoke bench bench-gate
 
 # full suite
 test:
@@ -12,11 +12,12 @@ tier1:
 	$(PYTEST) -x -q
 
 # seeded fault-injection + durability/crash-resume + memory-governor +
-# worker-supervision + request-plane suites (includes the seeded
-# request-storm chaos soak from tests/test_service.py and the
-# SIGKILL/--resume crash-restart soak from tests/test_service_resume.py)
+# worker-supervision + request-plane + tenant-isolation suites (includes
+# the seeded request-storm chaos soak from tests/test_service.py, the
+# SIGKILL/--resume crash-restart soaks, and the noisy-neighbor fairness
+# storm from tests/test_tenancy.py)
 robustness:
-	$(PYTEST) -q -m "chaos or durability or memory or supervision or service or resilience"
+	$(PYTEST) -q -m "chaos or durability or memory or supervision or service or resilience or tenancy"
 
 # worker supervision only: heartbeats, deadlines, crash/respawn, quarantine
 supervision:
@@ -49,9 +50,15 @@ perf:
 pipeline:
 	$(PYTEST) -q -m pipeline
 
+# tenant isolation plane: enforced quotas, token-bucket rate limits,
+# weighted deficit-round-robin fairness, the brownout ladder, and the
+# seeded noisy-neighbor storm
+tenancy:
+	$(PYTEST) -q -m tenancy
+
 # robustness gate: tier-1, then chaos/durability/memory/service, then
-# pipelining, then perf gates
-smoke: tier1 robustness batching service pipeline perf
+# pipelining and tenancy, then perf gates
+smoke: tier1 robustness batching service pipeline tenancy perf
 
 # tier-2 dispatch bench gate: fail unless batched dispatch cuts IPC
 # round-trips >= 10x without a wall-clock regression (the wall claim

@@ -158,6 +158,101 @@ def run_service_bench(r: int, strategy: str, *, clients: int = 8,
         }
 
 
+def run_fairness_bench(r: int, strategy: str, *, n: int = 128,
+                       requests_per_tenant: int = 4,
+                       chaos: str = "seed=7,noisy_neighbor=1.0"):
+    """Tenant-isolation probe: hog vs victim under the seeded storm.
+
+    Equal weights (the DESIGN.md §18 acceptance configuration): the hog
+    floods seeded bursts of extra solves while the victim submits its
+    scheduled share.  The record prices fairness directly — the victim's
+    share of engine passes inside the contention window (up to its last
+    settled pass), which weighted deficit-round-robin must keep >= 0.4
+    — plus the hog:victim throughput ratio and whatever brownout
+    transitions the pressure actually drove.  Host-independent.
+    """
+    from repro.service import (
+        ServiceConfig,
+        SolverService,
+        TenantPolicy,
+        run_noisy_neighbor_storm,
+    )
+    from repro.sparkle import FaultPlan
+    from repro.sparkle.requests import SolveRequest
+
+    spec = FloydWarshallGep()
+    kernel = make_kernel(spec, "iterative")
+    plan = FaultPlan.from_string(chaos)
+    base_seed = {"hog": 1000, "victim": 2000}
+    with SparkleContext(num_executors=4, cores_per_executor=2) as sc:
+        service = SolverService(
+            sc,
+            config=ServiceConfig(
+                max_queue_depth=32,
+                tenant_policies={
+                    "hog": TenantPolicy(weight=1),
+                    "victim": TenantPolicy(weight=1),
+                },
+            ),
+        )
+        pass_order = []
+        original = service._solve
+        service._solve = lambda req, offload: (
+            pass_order.append(req.tenant),
+            original(req, offload),
+        )[1]
+
+        def make_request(tenant, seq):
+            return SolveRequest(
+                spec=spec,
+                table=random_digraph_weights(
+                    n, 0.3, seed=base_seed[tenant] + seq
+                ).astype(spec.dtype),
+                r=min(r, n),
+                kernel=kernel,
+                strategy=strategy,
+                tenant=tenant,
+            )
+
+        t0 = time.perf_counter()
+        outcomes = run_noisy_neighbor_storm(
+            service,
+            make_request,
+            requests_per_tenant=requests_per_tenant,
+            plan=plan,
+            timeout=600.0,
+        )
+        wall = time.perf_counter() - t0
+        service.stop()
+        per_tenant = service.metrics.summary()["per_tenant"]
+        transitions = service.metrics.drain_brownout_transitions()
+    victim_rows = outcomes["victim"]
+    hog_rows = outcomes["hog"]
+    victim_idx = [i for i, t in enumerate(pass_order) if t == "victim"]
+    window = pass_order[: victim_idx[-1] + 1] if victim_idx else []
+    victim_share = (
+        round(window.count("victim") / len(window), 4) if window else None
+    )
+    hog_passes = per_tenant.get("hog", {}).get("engine_passes", 0)
+    victim_passes = per_tenant.get("victim", {}).get("engine_passes", 0)
+    return {
+        "chaos": chaos,
+        "weights": {"hog": 1, "victim": 1},
+        "requests_per_tenant": requests_per_tenant,
+        "hog_bursts": [row["burst"] for row in hog_rows],
+        "wall_seconds": round(wall, 4),
+        "hog_engine_passes": hog_passes,
+        "victim_engine_passes": victim_passes,
+        "hog_victim_throughput_ratio": (
+            round(hog_passes / victim_passes, 4) if victim_passes else None
+        ),
+        "victim_pass_share_in_window": victim_share,
+        "victim_completed": sum(1 for row in victim_rows if row.get("ok")),
+        "victim_sheds": per_tenant.get("victim", {}).get("sheds", 0),
+        "brownout_transitions": transitions,
+    }
+
+
 def run_resume_bench(r: int, strategy: str, *, requests: int = 8,
                      n: int = 128):
     """Recovery-cost probe of the request journal (``serve --resume``).
@@ -311,6 +406,13 @@ def main(argv=None) -> int:
           f"coalesced={service_rec['single_flight_coalesced']} "
           f"shed={service_rec['shed_count']}")
 
+    # Tenant isolation: the noisy-neighbor fairness storm.
+    fairness_rec = run_fairness_bench(r, args.strategy)
+    print(f"  {'fairness':15s} "
+          f"victim_share={fairness_rec['victim_pass_share_in_window']} "
+          f"hog:victim={fairness_rec['hog_victim_throughput_ratio']} "
+          f"victim_sheds={fairness_rec['victim_sheds']}")
+
     # Hot-restart recovery: journal replay cost after a simulated crash.
     resume_rec = run_resume_bench(r, args.strategy)
     print(f"  {'service-resume':15s} "
@@ -377,6 +479,7 @@ def main(argv=None) -> int:
             "barrier_wait_gate": "not run (make bench-gate)",
         },
         "service": service_rec,
+        "fairness": fairness_rec,
         "service_resume": resume_rec,
         "supervision": {
             "heartbeat_interval": 0.25,

@@ -416,6 +416,45 @@ def _cmd_workers(args) -> int:
     return 0
 
 
+def _parse_tenant_policies(args):
+    """Fold repeatable --tenant-* flags into TenantPolicy objects.
+
+    Each flag names one tenant (``NAME=VALUE``); a tenant may appear in
+    several flags and the pieces are merged into a single policy.
+    Returns ``(policies, error_message)``.
+    """
+    from repro.service import TenantPolicy
+
+    fields: dict[str, dict] = {}
+
+    def _split(flag, raw):
+        name, sep, value = raw.partition("=")
+        if not sep or not name or not value:
+            raise ValueError(f"{flag} expects NAME=VALUE, got {raw!r}")
+        return name, value
+
+    try:
+        for raw in args.tenant_weight or []:
+            name, value = _split("--tenant-weight", raw)
+            fields.setdefault(name, {})["weight"] = int(value)
+        for raw in args.tenant_quota or []:
+            name, value = _split("--tenant-quota", raw)
+            fields.setdefault(name, {})["quota_bytes"] = int(value)
+        for raw in args.tenant_rate or []:
+            name, value = _split("--tenant-rate", raw)
+            rate, sep, burst = value.partition(":")
+            spec = fields.setdefault(name, {})
+            spec["rate"] = float(rate)
+            if sep:
+                spec["burst"] = int(burst)
+        policies = {
+            name: TenantPolicy(**spec) for name, spec in fields.items()
+        }
+    except ValueError as exc:
+        return None, str(exc)
+    return policies, None
+
+
 def _cmd_serve(args) -> int:
     from repro.service import (
         RequestJournal,
@@ -431,6 +470,16 @@ def _cmd_serve(args) -> int:
     if args.pipeline_depth < 1:
         print("--pipeline-depth must be >= 1", file=sys.stderr)
         return 2
+    policies, err = _parse_tenant_policies(args)
+    if err is not None:
+        print(err, file=sys.stderr)
+        return 2
+    if args.memory_budget is None and any(
+        p.quota_bytes is not None for p in (policies or {}).values()
+    ):
+        print("--tenant-quota requires --memory-budget (quotas are "
+              "attributed through the memory governor)", file=sys.stderr)
+        return 2
     sc = SparkleContext(
         num_executors=args.executors,
         cores_per_executor=args.cores,
@@ -444,6 +493,8 @@ def _cmd_serve(args) -> int:
         retries=args.retries,
         default_deadline=args.default_deadline,
         max_frame_bytes=args.max_frame_bytes,
+        tenant_policies=policies,
+        brownout=not args.no_brownout,
     )
     journal = RequestJournal(args.journal_dir) if args.journal_dir else None
     service = SolverService(sc, config=config, journal=journal)
@@ -481,7 +532,11 @@ def _cmd_serve(args) -> int:
             for tenant, counters in sorted(per_tenant.items()):
                 print(f"  {tenant:20s} requests={counters['requests']} "
                       f"sheds={counters['sheds']} "
-                      f"cache_hits={counters['cache_hits']}")
+                      f"cache_hits={counters['cache_hits']} "
+                      f"passes={counters.get('engine_passes', 0)} "
+                      f"quota_rejections="
+                      f"{counters.get('quota_rejections', 0)} "
+                      f"rate_limited={counters.get('rate_limited', 0)}")
     return 0
 
 
@@ -515,6 +570,7 @@ def _cmd_request(args) -> int:
     if args.stats:
         per_tenant = reply.pop("per_tenant", {}) or {}
         pipeline = reply.pop("pipeline", {}) or {}
+        ledgers = reply.pop("tenants", {}) or {}
         for key, value in sorted(reply.items()):
             if key != "status":
                 print(f"{key:28s} {value}")
@@ -523,7 +579,14 @@ def _cmd_request(args) -> int:
         for tenant, counters in sorted(per_tenant.items()):
             print(f"tenant {tenant:20s} requests={counters['requests']} "
                   f"sheds={counters['sheds']} "
-                  f"cache_hits={counters['cache_hits']}")
+                  f"cache_hits={counters['cache_hits']} "
+                  f"passes={counters.get('engine_passes', 0)} "
+                  f"quota_rejections={counters.get('quota_rejections', 0)} "
+                  f"rate_limited={counters.get('rate_limited', 0)}")
+        for tenant, ledger in sorted(ledgers.items()):
+            quota = ledger.get("quota_bytes")
+            print(f"quota {tenant:21s} held={ledger.get('held_bytes', 0)} "
+                  f"quota={'-' if quota is None else quota}")
         return 0
     if args.output:
         np.save(args.output, reply.pop("result"))
@@ -758,6 +821,27 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--max-requests", dest="max_requests", type=int,
                        default=None,
                        help="exit after N requests (tests/demos)")
+    serve.add_argument("--tenant-weight", dest="tenant_weight",
+                       action="append", default=None, metavar="NAME=W",
+                       help="fair-share weight for a tenant in the "
+                            "deficit-round-robin dispatch queue "
+                            "(repeatable; default weight 1)")
+    serve.add_argument("--tenant-quota", dest="tenant_quota",
+                       action="append", default=None, metavar="NAME=BYTES",
+                       help="byte quota for a tenant's in-flight working "
+                            "set; breaches are refused with a typed, "
+                            "retryable TenantQuotaExceededError "
+                            "(repeatable)")
+    serve.add_argument("--tenant-rate", dest="tenant_rate",
+                       action="append", default=None,
+                       metavar="NAME=RATE[:BURST]",
+                       help="token-bucket admission rate (requests/s, "
+                            "optional burst) for a tenant (repeatable)")
+    serve.add_argument("--no-brownout", dest="no_brownout",
+                       action="store_true",
+                       help="disable the brownout degradation ladder "
+                            "(clamp pipeline depth -> degrade IM->CB -> "
+                            "shed lowest-weight tenants)")
     serve.set_defaults(func=_cmd_serve)
 
     request = sub.add_parser(

@@ -570,7 +570,7 @@ class GepSparkSolver:
                 for j in range(nt)
             ]
 
-        tracker = TileTracker()
+        tracker = TileTracker(memory=getattr(sc, "memory_manager", None))
         for (i, j), tile in tiles0:
             tracker.settle((start_k, i, j), tile)
 
@@ -666,13 +666,20 @@ class GepSparkSolver:
         except BaseException as exc:
             tracker.abort(exc)
             sched.pipeline_drain()
+            tracker.close()
             raise
         sched.pipeline_drain()
 
-        out = np.empty((n, n), dtype=self.spec.dtype)
-        for (i, j) in all_keys:
-            tile = tracker.get((stop_level, i, j))
-            out[bounds[i] : bounds[i + 1], bounds[j] : bounds[j + 1]] = tile
+        try:
+            out = np.empty((n, n), dtype=self.spec.dtype)
+            for (i, j) in all_keys:
+                tile = tracker.get((stop_level, i, j))
+                out[bounds[i] : bounds[i + 1], bounds[j] : bounds[j + 1]] = tile
+        finally:
+            # Return the final level's governor charges: result tiles are
+            # never pruned, and leaking them would poison the service's
+            # pressure readings for every later request on this context.
+            tracker.close()
         if journal is not None and not partial:
             journal.append({"kind": "done"})
             metrics.journal_appends += 1

@@ -27,6 +27,17 @@ through four defensive layers before an engine pass runs:
    backend trips a breaker that fails the data plane over to in-process
    threads (``disable_offload`` + the supervisor degrade latch), then
    half-opens a probe after a cooldown.
+5. **Tenant isolation** (DESIGN.md §18) — requests carrying a tenant
+   face per-tenant gates: token-bucket admission rate limits and byte
+   quotas on the memory governor's tenant ledger (in-flight solve
+   estimates plus cached-result bytes), refused with a typed retryable
+   :class:`~repro.sparkle.errors.TenantQuotaExceededError`; the
+   dispatcher queue is weighted deficit-round-robin across tenants, so
+   a hog saturates only its own weight; and a deterministic
+   :class:`~repro.sparkle.tenancy.BrownoutLadder` degrades gracefully
+   under pressure — clamp ``pipeline_depth`` to 1, serve IM requests
+   on the bit-identical CB strategy, then shed lowest-weight tenants
+   with ``retry_after`` — with every transition metered clear-on-read.
 
 Engine passes are **serialized** through one dispatcher thread:
 concurrent passes over a shared context would interleave stage ids,
@@ -69,8 +80,8 @@ import socket
 import struct
 import threading
 import time
-from collections import OrderedDict, deque
-from dataclasses import dataclass, replace
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable
 
@@ -94,12 +105,19 @@ from .sparkle.errors import (
     StorageCapacityError,
     TaskDeadlineExceeded,
     TaskKilled,
+    TenantQuotaExceededError,
     TransientIOError,
     WorkerCrashed,
 )
 from .sparkle.memory import PRESSURE_CRITICAL, PRESSURE_OK
 from .sparkle.metrics import ServiceMetrics
 from .sparkle.requests import SolveRequest, SolveResponse
+from .sparkle.tenancy import (
+    BrownoutLadder,
+    DeficitRoundRobin,
+    TenantPolicy,
+    TokenBucket,
+)
 
 __all__ = [
     "ServiceConfig",
@@ -108,7 +126,9 @@ __all__ = [
     "CircuitBreaker",
     "RequestJournal",
     "SolverService",
+    "TenantPolicy",
     "run_request_storm",
+    "run_noisy_neighbor_storm",
     "serve_forever",
     "send_request",
     "is_retryable",
@@ -148,6 +168,10 @@ def is_retryable(exc: BaseException) -> bool:
         return True
     if isinstance(exc, ServiceDrainingError):
         # The drain always precedes a restart (or a peer): retry there.
+        return True
+    if isinstance(exc, TenantQuotaExceededError):
+        # The tenant's own in-flight work (or token bucket) will drain;
+        # ``retry_after`` says when to come back.
         return True
     if isinstance(exc, RequestDeadlineExceeded):
         return False
@@ -204,6 +228,24 @@ class ServiceConfig:
         ``retry_after`` hint attached to :class:`ServiceDrainingError`
         sheds — how long a client should wait before retrying against
         the restarted instance.
+    tenant_policies:
+        ``tenant -> TenantPolicy`` isolation knobs (DESIGN.md §18):
+        DRR weight, byte quota on the governor's tenant ledger, and
+        token-bucket admission rate.  Tenants absent from the map get
+        ``default_tenant_weight``, no quota, and no rate limit.
+    default_tenant_weight:
+        DRR weight for tenants without a policy (and for anonymous
+        requests, which all share the ``None`` tenant queue).
+    tenant_charge_factor:
+        In-flight quota charge per admitted flight, as a multiple of
+        the request table's bytes.  Defaults to 3 — the IM strategy's
+        worst case of three simultaneously materialized table copies
+        (the paper's §IV-C working-set bound) — so the quota prices
+        peak engine footprint, not just the input.
+    brownout:
+        Arm the :class:`~repro.sparkle.tenancy.BrownoutLadder`
+        (clamp → degrade → shed under pressure); off leaves only the
+        PR 7 admission gates.
     """
 
     max_queue_depth: int = 16
@@ -217,6 +259,10 @@ class ServiceConfig:
     default_deadline: float | None = None
     max_frame_bytes: int = 256 * 1024 * 1024
     drain_retry_after: float = 1.0
+    tenant_policies: dict[str, TenantPolicy] = field(default_factory=dict)
+    default_tenant_weight: int = 1
+    tenant_charge_factor: int = 3
+    brownout: bool = True
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -229,6 +275,10 @@ class ServiceConfig:
             raise ValueError("breaker_threshold must be >= 1")
         if self.max_frame_bytes < 4096:
             raise ValueError("max_frame_bytes must be >= 4096")
+        if self.default_tenant_weight < 1:
+            raise ValueError("default_tenant_weight must be >= 1")
+        if self.tenant_charge_factor < 1:
+            raise ValueError("tenant_charge_factor must be >= 1")
 
 
 class SolveTicket:
@@ -299,6 +349,7 @@ class SolveTicket:
         m = self._service.metrics
         with self._service._metrics_lock:
             m.requests_completed += 1
+            m.tenant_event(self.request.tenant, "completed")
         self._event.set()
 
     def _fail(self, exc: BaseException) -> None:
@@ -351,12 +402,18 @@ class SolveTicket:
 class _Flight:
     """One deduplicated engine pass plus everyone waiting on it."""
 
-    __slots__ = ("fingerprint", "waiters", "done")
+    __slots__ = ("fingerprint", "waiters", "done", "tenant", "charge")
 
-    def __init__(self, fingerprint: str) -> None:
+    def __init__(self, fingerprint: str, tenant: str | None = None) -> None:
         self.fingerprint = fingerprint
         self.waiters: list[SolveTicket] = []
         self.done = False
+        #: tenant of the *admitting* ticket — the DRR queue key and the
+        #: party the in-flight quota charge is attributed to (coalesced
+        #: waiters ride free: the flight is the unit of work)
+        self.tenant = tenant
+        #: bytes charged to the tenant ledger for this flight's lifetime
+        self.charge = 0
 
     def deadline_at(self) -> float | None:
         """The pass runs to the *loosest* waiter's deadline.
@@ -374,12 +431,17 @@ class _Flight:
 
 
 class _CacheEntry:
-    __slots__ = ("array", "checksum", "nbytes")
+    __slots__ = ("array", "checksum", "nbytes", "tenant")
 
-    def __init__(self, array: np.ndarray, checksum: str) -> None:
+    def __init__(
+        self, array: np.ndarray, checksum: str, tenant: str | None = None
+    ) -> None:
         self.array = array
         self.checksum = checksum
         self.nbytes = int(array.nbytes)
+        #: tenant whose quota ledger carries this entry's bytes (None =
+        #: anonymous or rehydrated-from-spool: storage-charged only)
+        self.tenant = tenant
 
 
 def _checksum(array: np.ndarray) -> str:
@@ -435,12 +497,21 @@ class ResultCache:
             # Callers get a private copy; the cached buffer never escapes.
             return entry.array.copy()
 
-    def put(self, fingerprint: str, result: np.ndarray) -> bool:
-        """Cache a fresh result; False if it could not be admitted."""
+    def put(
+        self, fingerprint: str, result: np.ndarray, *, tenant: str | None = None
+    ) -> bool:
+        """Cache a fresh result; False if it could not be admitted.
+
+        When the owning tenant has a quota, the entry's bytes are also
+        attributed to its tenant ledger — and a quota breach simply
+        *skips caching* (the solve already succeeded; the tenant just
+        loses the cache privilege).  It never evicts another tenant's
+        entries to make room inside someone else's quota.
+        """
         if self.max_entries == 0:
             return False
         array = np.ascontiguousarray(result).copy()
-        entry = _CacheEntry(array, _checksum(array))
+        entry = _CacheEntry(array, _checksum(array), tenant)
         with self._lock:
             if fingerprint in self._entries:
                 self._entries.move_to_end(fingerprint)
@@ -451,6 +522,13 @@ class ResultCache:
                 if not self._entries:
                     return False
                 self._evict_lru_locked()
+            if (
+                tenant is not None
+                and self._memory is not None
+                and not self._memory.charge_tenant(tenant, entry.nbytes)
+            ):
+                self._memory.release("storage", self.OWNER, entry.nbytes)
+                return False
             self._entries[fingerprint] = entry
             return True
 
@@ -493,6 +571,8 @@ class ResultCache:
         entry = self._entries.pop(fingerprint)
         if self._memory is not None:
             self._memory.release("storage", self.OWNER, entry.nbytes)
+            if entry.tenant is not None:
+                self._memory.release_tenant(entry.tenant, entry.nbytes)
 
 
 class CircuitBreaker:
@@ -852,7 +932,12 @@ class SolverService:
         self._metrics_lock = threading.Lock()
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
-        self._queue: "deque[_Flight]" = deque()
+        self._policies: dict[str, TenantPolicy] = dict(
+            self.config.tenant_policies
+        )
+        self._buckets: dict[str, TokenBucket] = {}
+        self._queue = DeficitRoundRobin(weight_of=self._weight)
+        self.ladder = BrownoutLadder(self.config.max_queue_depth)
         self._inflight: dict[str, _Flight] = {}
         self._running: _Flight | None = None
         self._stopped = False
@@ -861,6 +946,22 @@ class SolverService:
         self._auto_keys = itertools.count()
         if journal is not None:
             journal.bind_metrics(self.metrics, self._metrics_lock)
+        quota_tenants = sorted(
+            tenant
+            for tenant, policy in self._policies.items()
+            if policy.quota_bytes is not None
+        )
+        if sc.memory_manager is not None:
+            for tenant in quota_tenants:
+                sc.memory_manager.set_tenant_quota(
+                    tenant, self._policies[tenant].quota_bytes
+                )
+        elif quota_tenants:
+            raise ValueError(
+                "tenant quotas are attributed through the memory governor; "
+                f"quotas for {quota_tenants} require a context built with "
+                "memory_budget_bytes"
+            )
         self.cache = ResultCache(
             self.config.cache_entries, sc.memory_manager, self.metrics
         )
@@ -975,9 +1076,19 @@ class SolverService:
                 )
                 flight.waiters.append(ticket)
                 return ticket
+            # Only requests that would create a NEW flight (a real
+            # engine pass) face the isolation gates below — cache hits
+            # and coalesces above cost nothing extra, and replays are
+            # journaled work the WAL already committed to running.
+            self._evaluate_brownout_locked()
+            if not _replay:
+                self._rate_gate_locked(request.tenant)
+                self._brownout_gate_locked(request.tenant)
+            charge = self._charge_tenant_locked(request, force=_replay)
             try:
                 self._admit_locked(fingerprint)
             except ServiceOverloadedError:
+                self._release_tenant_charge(request.tenant, charge)
                 with self._metrics_lock:
                     self.metrics.tenant_event(request.tenant, "sheds")
                 raise
@@ -985,10 +1096,11 @@ class SolverService:
             ticket.journal_key = self._journal_admit(
                 request, fingerprint, wire, _replay
             )
-            flight = _Flight(fingerprint)
+            flight = _Flight(fingerprint, tenant=request.tenant)
+            flight.charge = charge
             flight.waiters.append(ticket)
             self._inflight[fingerprint] = flight
-            self._queue.append(flight)
+            self._queue.push(flight.tenant, flight)
             self._work.notify_all()
             return ticket
 
@@ -1083,6 +1195,120 @@ class SolverService:
             error=error,
         )
 
+    # -- tenant isolation gates (DESIGN.md §18) ------------------------
+
+    def _policy(self, tenant: str | None) -> TenantPolicy | None:
+        return self._policies.get(tenant) if tenant is not None else None
+
+    def _weight(self, tenant: str | None) -> int:
+        policy = self._policy(tenant)
+        return (
+            policy.weight
+            if policy is not None
+            else self.config.default_tenant_weight
+        )
+
+    def _rate_gate_locked(self, tenant: str | None) -> None:
+        """Token-bucket admission rate limit (per-tenant, opt-in)."""
+        policy = self._policy(tenant)
+        if policy is None or policy.rate is None:
+            return
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                policy.rate, policy.burst
+            )
+        if bucket.try_take():
+            return
+        with self._metrics_lock:
+            self.metrics.rate_limited += 1
+            self.metrics.tenant_event(tenant, "rate_limited")
+        raise TenantQuotaExceededError(
+            f"tenant {tenant!r} is over its admission rate "
+            f"({policy.rate:g} req/s, burst {policy.burst})",
+            tenant=tenant,
+            retry_after=max(bucket.retry_after(), 0.001),
+        )
+
+    def _brownout_gate_locked(self, tenant: str | None) -> None:
+        """At the ladder's ``shed`` rung, refuse lowest-weight tenants.
+
+        "Lowest" is relative to the tenants currently holding queued
+        work: a request is shed only when some *heavier* tenant is
+        waiting (equal weights shed nobody here — the plain admission
+        gates still apply to everyone).
+        """
+        if not self.config.brownout or self.ladder.level < 3:
+            return
+        weight = self._weight(tenant)
+        contenders = set(self._queue.tenants()) | {tenant}
+        if weight >= max(self._weight(t) for t in contenders):
+            return
+        with self._metrics_lock:
+            self.metrics.requests_shed += 1
+            self.metrics.brownout_sheds += 1
+            self.metrics.tenant_event(tenant, "sheds")
+        raise ServiceOverloadedError(
+            f"brownout shed: tenant {tenant!r} (weight {weight}) yields "
+            f"to heavier queued tenants",
+            level="brownout",
+            queue_depth=len(self._queue),
+            retry_after=self.config.shed_retry_after,
+        )
+
+    def _charge_tenant_locked(
+        self, request: SolveRequest, *, force: bool = False
+    ) -> int:
+        """Reserve the flight's in-flight quota estimate; returns bytes.
+
+        The estimate is ``table.nbytes × tenant_charge_factor`` (see
+        :class:`ServiceConfig`).  A breach raises the typed retryable
+        error at *this* tenant and touches nobody else's state.
+        ``force`` is the resume path: replayed admissions were already
+        accepted once, so they charge unconditionally.
+        """
+        tenant = request.tenant
+        mm = self.sc.memory_manager
+        if tenant is None or mm is None:
+            return 0
+        charge = int(request.table.nbytes) * self.config.tenant_charge_factor
+        if mm.charge_tenant(tenant, charge, force=force):
+            return charge
+        usage = mm.tenant_usage().get(tenant, {})
+        with self._metrics_lock:
+            self.metrics.quota_rejections += 1
+            self.metrics.tenant_event(tenant, "quota_rejections")
+        raise TenantQuotaExceededError(
+            f"tenant {tenant!r} quota exceeded: holds "
+            f"{usage.get('held_bytes', 0)} of {usage.get('quota_bytes')} "
+            f"bytes; this flight needs {charge} more",
+            tenant=tenant,
+            used_bytes=usage.get("held_bytes", 0),
+            quota_bytes=usage.get("quota_bytes"),
+            retry_after=self.config.shed_retry_after,
+        )
+
+    def _release_tenant_charge(self, tenant: str | None, charge: int) -> None:
+        if tenant is None or charge == 0:
+            return
+        if self.sc.memory_manager is not None:
+            self.sc.memory_manager.release_tenant(tenant, charge)
+
+    def _evaluate_brownout_locked(self) -> int:
+        """Advance the ladder from (pressure, queue depth); meter it."""
+        if not self.config.brownout:
+            return 0
+        mm = self.sc.memory_manager
+        level = mm.pressure() if mm is not None else PRESSURE_OK
+        depth = len(self._queue) + (1 if self._running is not None else 0)
+        transition = self.ladder.evaluate(level, depth)
+        if transition is not None:
+            with self._metrics_lock:
+                self.metrics.brownout_transitions.append(transition)
+                self.metrics.brownout_transition_count += 1
+                self.metrics.brownout_level = self.ladder.name
+        return self.ladder.level
+
     def _admit_locked(self, fingerprint: str) -> None:
         mm = self.sc.memory_manager
         level = mm.pressure() if mm is not None else PRESSURE_OK
@@ -1118,12 +1344,16 @@ class SolverService:
     def _dispatch_loop(self) -> None:
         while True:
             with self._lock:
-                while not self._queue and not self._stopped:
+                while not len(self._queue) and not self._stopped:
                     self._work.wait()
-                if not self._queue and self._stopped:
+                if not len(self._queue) and self._stopped:
                     return
-                flight = self._queue.popleft()
+                flight = self._queue.pop()
                 self._running = flight
+                # Re-evaluate the ladder at dispatch too: during a long
+                # quiet stretch no submit() would ever step it back down
+                # (or up, as the backlog it left behind drains).
+                self._evaluate_brownout_locked()
             try:
                 self._run_flight(flight)
             finally:
@@ -1194,8 +1424,27 @@ class SolverService:
         sc = self.sc
         with self._metrics_lock:
             self.metrics.engine_passes += 1
+            self.metrics.tenant_event(request.tenant, "engine_passes")
             if sc.backend == "processes" and not offload:
                 self.metrics.circuit_failovers += 1
+        # Brownout effects, applied per pass from the ladder's current
+        # rung (passes are serialized, so mutating shared context state
+        # here is safe; everything restores in ``finally``):
+        # rung >= clamp collapses the pipeline lookahead to barrier mode
+        # (the cheapest lever — trims the tracker's live-tile window),
+        # rung >= degrade serves IM requests on the CB strategy (the
+        # PR 3 latch: bit-identical output, shared-storage staging
+        # instead of governed shuffle pools).
+        brownout = self.ladder.level if self.config.brownout else 0
+        saved_depth = getattr(sc, "pipeline_depth", 1)
+        if brownout >= 1 and saved_depth > 1:
+            sc.pipeline_depth = 1
+            with self._metrics_lock:
+                self.metrics.brownout_clamps += 1
+        if brownout >= 2 and request.strategy == "im":
+            request = replace(request, strategy="cb")
+            with self._metrics_lock:
+                self.metrics.brownout_degrades += 1
         saved_task_deadline = sc.supervision.task_deadline
         sc._scheduler.set_job_deadline(deadline_at)
         if deadline_at is not None:
@@ -1210,6 +1459,7 @@ class SolverService:
         finally:
             sc._scheduler.set_job_deadline(None)
             sc.supervision.override_task_deadline(saved_task_deadline)
+            sc.pipeline_depth = saved_depth
             sc.reclaim_solve_state()
 
     def _solve(self, request: SolveRequest, offload: bool) -> np.ndarray:
@@ -1233,7 +1483,8 @@ class SolverService:
         # Cache before unpublishing the flight: a racing duplicate either
         # coalesces (pre-removal) or hits the cache (post-removal) — it
         # never slips between the two into a redundant engine pass.
-        self.cache.put(flight.fingerprint, result)
+        self.cache.put(flight.fingerprint, result, tenant=flight.tenant)
+        self._release_flight_charge(flight)
         with self._lock:
             flight.done = True
             if self._inflight.get(flight.fingerprint) is flight:
@@ -1243,6 +1494,7 @@ class SolverService:
             ticket._fulfill(result)
 
     def _fail_flight(self, flight: _Flight, exc: BaseException) -> None:
+        self._release_flight_charge(flight)
         with self._lock:
             flight.done = True
             if self._inflight.get(flight.fingerprint) is flight:
@@ -1250,6 +1502,11 @@ class SolverService:
             waiters = list(flight.waiters)
         for ticket in waiters:
             ticket._fail(exc)
+
+    def _release_flight_charge(self, flight: _Flight) -> None:
+        """Return the flight's in-flight quota bytes exactly once."""
+        charge, flight.charge = flight.charge, 0
+        self._release_tenant_charge(flight.tenant, charge)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -1349,11 +1606,7 @@ class SolverService:
             if self._stopped:
                 return
             self._stopped = True
-            if not drain:
-                aborted = list(self._queue)
-                self._queue.clear()
-            else:
-                aborted = []
+            aborted = self._queue.drain() if not drain else []
             self._work.notify_all()
         for flight in aborted:
             self._fail_flight(
@@ -1467,6 +1720,144 @@ def run_request_storm(
     if stuck:
         raise TimeoutError(f"request storm deadlocked; stuck clients: {stuck}")
     return [record for per_client in outcomes for record in per_client]
+
+
+def run_noisy_neighbor_storm(
+    service: SolverService,
+    make_request: Callable[[str, int], SolveRequest],
+    *,
+    hog: str = "hog",
+    victims: tuple[str, ...] = ("victim",),
+    requests_per_tenant: int = 4,
+    plan=None,
+    max_retries: int = 12,
+    timeout: float = 120.0,
+    on_driver_kill: Callable[[int, int], None] | None = None,
+) -> dict[str, list[dict[str, Any]]]:
+    """Tenant-isolation chaos soak: one hog tenant vs N victims.
+
+    One client thread per tenant drives ``requests_per_tenant`` solves
+    built by ``make_request(tenant, seq)`` — which must vary the
+    workload by both arguments, so nothing coalesces across tenants and
+    every completed request is a real engine pass the fairness
+    assertions can count.  Clients are *pipelined*: each thread submits
+    all its requests up front, then awaits them in order — so every
+    tenant holds a standing backlog in the DRR queue and the dispatch
+    share under contention is the weighted share, observable per pass.
+    (A synchronous client re-joins the rotation behind the hog after
+    every settle and measures queue latency, not fairness.)  A plan
+    arming ``noisy_neighbor`` makes the *hog* thread consult
+    :meth:`~repro.sparkle.chaos.FaultPlan.noisy_neighbor` before each
+    scheduled request and fire that many extra distinct solves first
+    (awaited at the end) — the seeded saturation the weighted-DRR/
+    quota/brownout plane must absorb.  ``driver_kill`` composes exactly
+    as in :func:`run_request_storm` (client index: hog=0, victims
+    from 1).
+
+    Every thread retries typed retryable refusals (sheds, quota, rate)
+    honoring ``retry_after`` up to ``max_retries`` times, so the record
+    distinguishes "slowed down" from "starved out".  Returns
+    ``tenant -> [outcome, ...]`` where each outcome carries ``seq``,
+    ``ok``, ``response``/``error``, ``retries``, and ``burst`` (hog
+    rows: extras injected before that request).
+    """
+    tenants = (hog,) + tuple(victims)
+    outcomes: dict[str, list[dict[str, Any]]] = {t: [] for t in tenants}
+    burst_tickets: list[SolveTicket] = []
+    burst_lock = threading.Lock()
+    barrier = threading.Barrier(len(tenants))
+    _RETRYABLE = (
+        ServiceOverloadedError,
+        TenantQuotaExceededError,
+        ServiceDrainingError,
+    )
+
+    def submit_with_retry(
+        record: dict[str, Any], request: SolveRequest
+    ) -> SolveTicket | None:
+        """Admit one request, honoring retry_after; None once starved."""
+        while True:
+            try:
+                return service.submit(request)
+            except _RETRYABLE as exc:
+                if record["retries"] >= max_retries:
+                    record.update(ok=False, error=exc)
+                    return None
+                record["retries"] += 1
+                time.sleep(getattr(exc, "retry_after", None) or 0.05)
+            except BaseException as exc:  # noqa: BLE001 — recorded, asserted on
+                record.update(ok=False, error=exc)
+                return None
+
+    def tenant_loop(index: int, tenant: str) -> None:
+        barrier.wait(timeout=timeout)
+        extra_seq = itertools.count(requests_per_tenant)
+        pending: list[tuple[dict[str, Any], SolveRequest, SolveTicket | None]] = []
+        for seq in range(requests_per_tenant):
+            if (
+                plan is not None
+                and on_driver_kill is not None
+                and plan.driver_kill(index, seq)
+            ):
+                on_driver_kill(index, seq)
+            burst = 0
+            if tenant == hog and plan is not None:
+                burst = plan.noisy_neighbor(index, seq)
+                for _ in range(burst):
+                    try:
+                        ticket = service.submit(
+                            make_request(tenant, next(extra_seq))
+                        )
+                    except _RETRYABLE:
+                        continue  # a refused burst extra is the point
+                    with burst_lock:
+                        burst_tickets.append(ticket)
+            record: dict[str, Any] = {
+                "tenant": tenant, "seq": seq, "burst": burst, "retries": 0,
+            }
+            request = make_request(tenant, seq)
+            pending.append((record, request, submit_with_retry(record, request)))
+            outcomes[tenant].append(record)
+        for record, request, ticket in pending:
+            while ticket is not None:
+                try:
+                    record["response"] = ticket.result(timeout=timeout)
+                    record["ok"] = True
+                    break
+                except _RETRYABLE as exc:
+                    if record["retries"] >= max_retries:
+                        record.update(ok=False, error=exc)
+                        break
+                    record["retries"] += 1
+                    time.sleep(getattr(exc, "retry_after", None) or 0.05)
+                    ticket = submit_with_retry(record, request)
+                except BaseException as exc:  # noqa: BLE001 — recorded below
+                    record.update(ok=False, error=exc)
+                    break
+
+    threads = [
+        threading.Thread(
+            target=tenant_loop,
+            args=(i, t),
+            name=f"tenant-{t}",
+            daemon=True,
+        )
+        for i, t in enumerate(tenants)
+    ]
+    for t in threads:
+        t.start()
+    deadline = time.monotonic() + timeout
+    for t in threads:
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
+    stuck = [t.name for t in threads if t.is_alive()]
+    if stuck:
+        raise TimeoutError(f"noisy-neighbor storm deadlocked; stuck: {stuck}")
+    for ticket in burst_tickets:
+        try:
+            ticket.result(timeout=max(0.0, deadline - time.monotonic()))
+        except BaseException:  # noqa: BLE001 — burst extras may fail freely
+            pass
+    return outcomes
 
 
 # -- Unix-socket serving (repro serve / repro request) -----------------
@@ -1730,10 +2121,12 @@ def _handle_conn(
             return
         try:
             if payload.get("op") == "stats":
+                mm = service.sc.memory_manager
                 _send_msg(conn, {
                     "status": "ok",
                     **service.metrics.summary(),
                     "pipeline": service.sc.metrics.pipeline_summary(),
+                    "tenants": mm.tenant_usage() if mm is not None else {},
                 })
                 return
             request = _build_request(payload)
@@ -1783,20 +2176,26 @@ def send_request(
 ) -> dict[str, Any]:
     """Send one request dict to a running service; returns the reply.
 
-    With ``retries > 0`` the client survives a dying or restarting
-    server: transport failures (connection refused, socket file briefly
-    missing, reset mid-reply, timeout) are retried with jittered
-    exponential backoff.  Solve payloads are stamped with a generated
-    ``idempotency_key`` (when the caller supplied none) that is *reused
-    across attempts* — a journal-backed server replays the settled
-    result instead of re-running work whose reply was lost, so retrying
-    is safe even after the request was accepted.  Typed error replies
-    (sheds, deadline overruns) are returned, not retried: the transport
-    worked, and the retry policy for those belongs to the caller.
+    With ``retries > 0`` the client survives a dying, restarting, or
+    overloaded server.  Transport failures (connection refused, socket
+    file briefly missing, reset mid-reply, timeout) are retried with
+    jittered exponential backoff.  Typed *retryable* error replies that
+    carry a ``retry_after`` hint — overload sheds, drain refusals,
+    tenant quota/rate refusals — are retried after sleeping exactly
+    that hint: the server knows when its queue (or the tenant's bucket)
+    will have drained, so its schedule beats any client-side guess.
+    Other typed error replies (deadline overruns, engine faults) are
+    returned, not retried — the transport worked, and the retry policy
+    for those belongs to the caller; so is the last refusal once
+    attempts run out.
 
-    The backoff jitter uses the seeded chaos hash keyed on the
-    idempotency key and attempt — deterministic, like every other
-    "random" in this engine.
+    Solve payloads are stamped with a generated ``idempotency_key``
+    (when the caller supplied none) that is *reused across attempts* —
+    a journal-backed server replays the settled result instead of
+    re-running work whose reply was lost, so retrying is safe even
+    after the request was accepted.  The transport-backoff jitter uses
+    the seeded chaos hash keyed on the idempotency key and attempt —
+    deterministic, like every other "random" in this engine.
     """
     payload = dict(payload)
     key = payload.get("idempotency_key")
@@ -1804,20 +2203,43 @@ def send_request(
         key = f"auto:{os.urandom(8).hex()}"
         payload["idempotency_key"] = key
     last_exc: Exception | None = None
+    reply: dict[str, Any] | None = None
     for attempt in range(retries + 1):
-        if attempt:
-            jitter = deterministic_fraction(0, "reconnect", (key or "", attempt))
-            delay = min(backoff_base * 2 ** (attempt - 1), backoff_cap)
-            time.sleep(delay * (0.5 + jitter))
         client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         client.settimeout(timeout)
         try:
             client.connect(socket_path)
             _send_msg(client, payload)
-            return _recv_msg(client)
+            reply = _recv_msg(client)
         except (OSError, ConnectionError) as exc:
             last_exc = exc
+            if attempt < retries:
+                jitter = deterministic_fraction(
+                    0, "reconnect", (key or "", attempt + 1)
+                )
+                delay = min(backoff_base * 2**attempt, backoff_cap)
+                time.sleep(delay * (0.5 + jitter))
+            continue
         finally:
             client.close()
+        error = reply.get("error") if isinstance(reply, dict) else None
+        retry_after = getattr(error, "retry_after", None)
+        if (
+            attempt < retries
+            and retry_after is not None
+            and isinstance(
+                error,
+                (
+                    ServiceOverloadedError,
+                    ServiceDrainingError,
+                    TenantQuotaExceededError,
+                ),
+            )
+        ):
+            time.sleep(retry_after)
+            continue
+        return reply
+    if reply is not None:
+        return reply
     assert last_exc is not None
     raise last_exc

@@ -89,6 +89,7 @@ from .errors import (
     ServiceDrainingError,
     ServiceOverloadedError,
     ShuffleFetchFailed,
+    TenantQuotaExceededError,
     SparkleError,
     StorageCapacityError,
     TaskDeadlineExceeded,
@@ -182,6 +183,7 @@ __all__ = [
     "PoisonTaskError",
     "ServiceOverloadedError",
     "ServiceDrainingError",
+    "TenantQuotaExceededError",
     "RequestDeadlineExceeded",
     "CircuitOpenError",
     "FrameTooLargeError",

@@ -86,11 +86,19 @@ CURRENT_TASK: ContextVar = ContextVar("sparkle_current_task", default=None)
 #:                   the ``--resume`` recovery path; decided per
 #:                   ``(client, seq)`` like the other request twists so
 #:                   the kill point replays bit-identically
+#: ``noisy_neighbor`` a hog tenant bursts: before its own request ``seq``
+#:                   the hog client injects 1–4 extra *distinct* solves
+#:                   (no single-flight coalescing), saturating the queue
+#:                   and the governor — the tenant-isolation storm that
+#:                   the fairness plane (weighted DRR, quotas, brownout
+#:                   ladder) must absorb without starving victim
+#:                   tenants; decided per ``(client, seq)`` so the burst
+#:                   schedule replays bit-identically
 FAULT_KINDS = (
     "kill", "lose", "slow", "storage", "bcast", "overflow",
     "torn_write", "corrupt_block", "mem_squeeze",
     "worker_kill", "worker_hang", "worker_oom",
-    "request_storm", "driver_kill",
+    "request_storm", "driver_kill", "noisy_neighbor",
 )
 
 #: Modest everything-on mix used by ``FaultPlan.default`` / bare
@@ -120,6 +128,9 @@ DEFAULT_RATES = {
     # Killing the driver is the bluntest fault there is — only a soak
     # harness that also arranges the restart should ever arm it.
     "driver_kill": 0.0,
+    # Hog bursts only mean anything to the noisy-neighbor storm harness,
+    # which supplies the hog/victim tenant roles — strictly opt-in.
+    "noisy_neighbor": 0.0,
 }
 
 DEFAULT_STRAGGLER_DELAY = 0.05
@@ -372,6 +383,27 @@ class FaultPlan:
             self.note("driver_kill")
             return True
         return False
+
+    def noisy_neighbor(self, client: int, seq: int) -> int:
+        """Extra hog-burst solves to inject before request ``seq``.
+
+        Returns 0 (no burst) or 1–4: the storm harness has its *hog*
+        tenant submit that many additional distinct requests before its
+        scheduled one, pressuring the dispatcher queue, the governor,
+        and the result cache all at once.  Victim tenants never burst —
+        the harness only consults this for the hog — and the decision is
+        keyed by ``(client, seq)`` so the burst schedule (and therefore
+        the fairness outcome being asserted) replays bit-identically
+        per seed.
+        """
+        site = ("hog", client, seq)
+        if self._decide("noisy_neighbor", 1, site):
+            self.note("noisy_neighbor")
+            frac = deterministic_fraction(
+                self.seed, "noisy_neighbor", ("burst", client, seq)
+            )
+            return 1 + int(frac * 4)
+        return 0
 
     def durable_fault(self, kind: str, key, attempt: int) -> bool:
         """Durable-store fault (``torn_write``/``corrupt_block``).

@@ -31,6 +31,7 @@ __all__ = [
     "PoisonTaskError",
     "ServiceOverloadedError",
     "ServiceDrainingError",
+    "TenantQuotaExceededError",
     "RequestDeadlineExceeded",
     "CircuitOpenError",
     "FrameTooLargeError",
@@ -295,6 +296,47 @@ class ServiceDrainingError(SparkleError):
 
     def __reduce__(self):
         return (type(self), (self.args[0], self.retry_after))
+
+
+class TenantQuotaExceededError(SparkleError):
+    """A tenant hit its own byte quota or admission rate limit.
+
+    Isolation, not survival: the *tenant's* in-flight solves plus cached
+    results would exceed the share carved out for it on the memory
+    governor's ledgers (``quota_bytes``), or its token bucket is out of
+    admission tokens (``used_bytes``/``quota_bytes`` are then ``None``).
+    Only the offending tenant is refused — no other tenant's queued work
+    or cached state is touched, evicted, or degraded on its behalf.
+    Always retryable: ``retry_after`` is the service's hint for when the
+    tenant's in-flight work (or token bucket) should have drained enough
+    to admit the retry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str | None = None,
+        used_bytes: int | None = None,
+        quota_bytes: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.used_bytes = used_bytes
+        self.quota_bytes = quota_bytes
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.args[0],
+                self.tenant,
+                self.used_bytes,
+                self.quota_bytes,
+                self.retry_after,
+            ),
+        )
 
 
 class FrameTooLargeError(SparkleError):

@@ -119,6 +119,11 @@ class MemoryManager:
         self._level = PRESSURE_OK
         self._critical_seen = False
         self._squeeze_listeners: list[Callable[[int], None]] = []
+        # tenant quota overlay: attribution on top of the pool ledgers,
+        # not a third pool — tenant bytes are already accounted in
+        # execution/storage by their real owners
+        self._tenant_quota: dict[str, int] = {}
+        self._tenant_held: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # owner attribution
@@ -276,6 +281,68 @@ class MemoryManager:
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
+    # tenant quota overlay
+    # ------------------------------------------------------------------
+    def set_tenant_quota(self, tenant: str, quota_bytes: int | None) -> None:
+        """Cap a tenant's attributed bytes; ``None`` removes the cap.
+
+        The overlay is attribution, not a pool: tenant-charged bytes are
+        already accounted against execution/storage by their real owners
+        (in-flight solve estimates, cached result payloads).  The quota
+        only bounds how much of that attributed total one tenant may
+        hold, so a breach refuses *that tenant's* next charge without
+        touching anyone else's reservations.
+        """
+        with self._cond:
+            if quota_bytes is None:
+                self._tenant_quota.pop(tenant, None)
+            else:
+                if quota_bytes < 0:
+                    raise ValueError("quota_bytes must be >= 0")
+                self._tenant_quota[tenant] = int(quota_bytes)
+
+    def charge_tenant(self, tenant: str, nbytes: int, *, force: bool = False) -> bool:
+        """Attribute ``nbytes`` to a tenant; False if its quota is hit.
+
+        Never blocks and never evicts: on a refused charge the caller
+        raises a typed retryable error at the tenant that breached,
+        leaving every other tenant's state alone.  ``force=True``
+        bypasses the quota check (used when refusing would wedge an
+        already-admitted operation).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        with self._cond:
+            held = self._tenant_held.get(tenant, 0)
+            quota = self._tenant_quota.get(tenant)
+            if not force and quota is not None and held + nbytes > quota:
+                return False
+            if nbytes:
+                self._tenant_held[tenant] = held + nbytes
+            return True
+
+    def release_tenant(self, tenant: str, nbytes: int) -> None:
+        """Return attributed bytes; clamps over-release like the ledgers."""
+        with self._cond:
+            held = self._tenant_held.get(tenant, 0) - nbytes
+            if held <= 0:
+                self._tenant_held.pop(tenant, None)
+            else:
+                self._tenant_held[tenant] = held
+
+    def tenant_usage(self) -> dict[str, dict[str, int | None]]:
+        """Per-tenant held/quota snapshot (union of both maps)."""
+        with self._cond:
+            tenants = set(self._tenant_held) | set(self._tenant_quota)
+            return {
+                t: {
+                    "held_bytes": self._tenant_held.get(t, 0),
+                    "quota_bytes": self._tenant_quota.get(t),
+                }
+                for t in sorted(tenants)
+            }
+
+    # ------------------------------------------------------------------
     # chaos: budget squeeze
     # ------------------------------------------------------------------
     def squeeze(self, factor: float) -> int:
@@ -342,6 +409,15 @@ class MemoryManager:
                     for pool, ledger in self._ledger.items()
                 },
                 "admitted_tasks": self._admitted_tasks,
+                "tenants": {
+                    t: {
+                        "held_bytes": self._tenant_held.get(t, 0),
+                        "quota_bytes": self._tenant_quota.get(t),
+                    }
+                    for t in sorted(
+                        set(self._tenant_held) | set(self._tenant_quota)
+                    )
+                },
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -537,10 +537,52 @@ class ServiceMetrics:
     client_disconnects: int = 0
     #: stale socket files (dead server, no listener) reclaimed on bind
     stale_sockets_reclaimed: int = 0
+    # ---- tenant isolation / brownout (DESIGN.md §18) ----------------------
+    #: admissions refused because the tenant's byte quota was hit
+    quota_rejections: int = 0
+    #: admissions refused by a tenant's token-bucket rate limit
+    rate_limited: int = 0
+    #: requests shed at the ladder's ``shed`` rung (lowest-weight tenants)
+    brownout_sheds: int = 0
+    #: engine passes run with ``pipeline_depth`` clamped to 1 (rung >= clamp)
+    brownout_clamps: int = 0
+    #: engine passes degraded IM→CB by the ladder (rung >= degrade)
+    brownout_degrades: int = 0
+    #: total ladder transitions (monotone; the summary surface)
+    brownout_transition_count: int = 0
+    #: current ladder rung name (``normal``/``clamp``/``degrade``/``shed``)
+    brownout_level: str = "normal"
+    #: transition strings (``"normal->clamp"``, …) since the last drain —
+    #: clear-on-read like ``MemoryManager.critical_since_last_check``, so
+    #: spiky episodes between two probes are never missed
+    brownout_transitions: list[str] = field(default_factory=list)
+
+    def drain_brownout_transitions(self) -> list[str]:
+        """Return and clear the transition trace (clear-on-read latch).
+
+        Callers hold the service's metrics lock, like every other
+        mutation on this class.
+        """
+        out = list(self.brownout_transitions)
+        self.brownout_transitions.clear()
+        return out
+
     # ---- per-tenant accounting --------------------------------------------
-    #: ``tenant -> {"requests", "sheds", "cache_hits"}``; only requests
-    #: that carry a tenant are metered here (totals above cover everyone)
+    #: ``tenant -> {"requests", "sheds", "cache_hits", "completed",
+    #: "engine_passes", "quota_rejections", "rate_limited"}``; only
+    #: requests that carry a tenant are metered here (totals above cover
+    #: everyone)
     per_tenant: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    _TENANT_EVENTS = (
+        "requests",
+        "sheds",
+        "cache_hits",
+        "completed",
+        "engine_passes",
+        "quota_rejections",
+        "rate_limited",
+    )
 
     def tenant_event(self, tenant: str | None, event: str) -> None:
         """Count one per-tenant event; no-op for anonymous requests.
@@ -551,7 +593,7 @@ class ServiceMetrics:
         if not tenant:
             return
         counters = self.per_tenant.setdefault(
-            tenant, {"requests": 0, "sheds": 0, "cache_hits": 0}
+            tenant, {e: 0 for e in self._TENANT_EVENTS}
         )
         counters[event] += 1
 
@@ -594,5 +636,12 @@ class ServiceMetrics:
             "frames_rejected": self.frames_rejected,
             "client_disconnects": self.client_disconnects,
             "stale_sockets_reclaimed": self.stale_sockets_reclaimed,
+            "quota_rejections": self.quota_rejections,
+            "rate_limited": self.rate_limited,
+            "brownout_sheds": self.brownout_sheds,
+            "brownout_clamps": self.brownout_clamps,
+            "brownout_degrades": self.brownout_degrades,
+            "brownout_transition_count": self.brownout_transition_count,
+            "brownout_level": self.brownout_level,
             "per_tenant": {t: dict(c) for t, c in sorted(self.per_tenant.items())},
         }

@@ -38,14 +38,28 @@ class _Waiter:
 
 
 class TileTracker:
-    """Settle-able per-tile readiness map with callback admission."""
+    """Settle-able per-tile readiness map with callback admission.
 
-    def __init__(self) -> None:
+    When constructed with a :class:`~.memory.MemoryManager`, every
+    settled tile version is charged to the governor's execution pool
+    (owner ``"pipeline-tracker"``) and released when :meth:`prune_below`
+    drops it or :meth:`close` tears the tracker down — so a deep
+    pipeline's working set shows up as real pressure instead of
+    silently exceeding the budget.  Charges are forced (settling must
+    never fail mid-wavefront or the pipeline wedges); oversubscription
+    surfaces as ``forced_grants`` and pressure transitions, which is
+    exactly what drives the degrade/brownout machinery.
+    """
+
+    def __init__(self, memory=None, owner: str = "pipeline-tracker") -> None:
         self._cond = threading.Condition()
         self._values: dict[Hashable, Any] = {}
         self._waiters: dict[Hashable, list[_Waiter]] = {}
         self._error: BaseException | None = None
         self._seq = 0
+        self._memory = memory
+        self._owner = owner
+        self._charged: dict[Hashable, int] = {}
 
     @property
     def error(self) -> BaseException | None:
@@ -60,6 +74,13 @@ class TileTracker:
             if key in self._values:
                 raise RuntimeError(f"tile {key!r} settled twice")
             self._values[key] = value
+            if self._memory is not None:
+                nbytes = int(getattr(value, "nbytes", 0))
+                if nbytes:
+                    self._memory.reserve(
+                        "execution", self._owner, nbytes, force=True
+                    )
+                    self._charged[key] = nbytes
             for waiter in self._waiters.pop(key, ()):
                 waiter.remaining.discard(key)
                 if not waiter.remaining:
@@ -120,7 +141,24 @@ class TileTracker:
 
     def prune_below(self, level: int) -> None:
         """Drop settled versions older than ``level`` to bound memory."""
+        freed = 0
         with self._cond:
             stale = [k for k in self._values if isinstance(k, tuple) and k[0] < level]
             for key in stale:
                 del self._values[key]
+                freed += self._charged.pop(key, 0)
+        if freed and self._memory is not None:
+            self._memory.release("execution", self._owner, freed)
+
+    def close(self) -> None:
+        """Release every remaining governor charge (end of the solve).
+
+        The final level's tiles are never pruned — the solver reads them
+        out as the result — so without this the tracker would leak its
+        last window of charges into the service's next request.
+        """
+        with self._cond:
+            freed = sum(self._charged.values())
+            self._charged.clear()
+        if freed and self._memory is not None:
+            self._memory.release("execution", self._owner, freed)

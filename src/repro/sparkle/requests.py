@@ -103,10 +103,16 @@ class SolveRequest:
     #: client identity for accounting/tracing (free-form)
     client: str = "anonymous"
     request_id: str | None = None
-    #: billing/accounting principal; metered per-tenant in
-    #: :class:`~repro.sparkle.metrics.ServiceMetrics` but deliberately
-    #: excluded from the fingerprint — two tenants asking for the same
-    #: solve share one engine pass and one cache entry
+    #: isolation principal (DESIGN.md §18): keys the service's weighted
+    #: deficit-round-robin dispatch queue, byte quota on the memory
+    #: governor's tenant ledger, token-bucket rate limit, and brownout
+    #: shed order (via :class:`~repro.sparkle.tenancy.TenantPolicy`),
+    #: plus per-tenant metering in :class:`~repro.sparkle.metrics.
+    #: ServiceMetrics`.  Deliberately excluded from the fingerprint —
+    #: two tenants asking for the same solve share one engine pass and
+    #: one cache entry (only the *admitting* tenant's quota carries the
+    #: flight).  ``None`` requests all share the anonymous queue at the
+    #: default weight, unmetered and unquota'd.
     tenant: str | None = None
     #: client-supplied stable identity for *this submission* (not the
     #: solve): the request journal keys admission/settlement on it, so a

@@ -997,8 +997,12 @@ class TestTenantAccounting:
             assert service.solve(_request(1, tenant="globex"), timeout=60)
             assert service.solve(_request(2), timeout=60)  # untenanted
             assert service.metrics.per_tenant == {
-                "acme": {"requests": 2, "sheds": 0, "cache_hits": 1},
-                "globex": {"requests": 1, "sheds": 0, "cache_hits": 0},
+                "acme": {"requests": 2, "sheds": 0, "cache_hits": 1,
+                         "completed": 2, "engine_passes": 1,
+                         "quota_rejections": 0, "rate_limited": 0},
+                "globex": {"requests": 1, "sheds": 0, "cache_hits": 0,
+                           "completed": 1, "engine_passes": 1,
+                           "quota_rejections": 0, "rate_limited": 0},
             }
             summary = service.metrics.summary()
             assert summary["per_tenant"]["acme"]["cache_hits"] == 1
@@ -1016,6 +1020,8 @@ class TestTenantAccounting:
                 service.submit(_request(0, tenant="acme"))
             assert service.metrics.per_tenant["acme"] == {
                 "requests": 1, "sheds": 1, "cache_hits": 0,
+                "completed": 0, "engine_passes": 0,
+                "quota_rejections": 0, "rate_limited": 0,
             }
         finally:
             service.stop()
